@@ -1,0 +1,76 @@
+// Command datastats renders the client data distributions of the
+// synthetic federated datasets (paper Figure 3): for vision tasks, the
+// class × client heat map under each Dirichlet beta; for LEAF-style
+// tasks, per-client sample counts and class skew.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fedcross/internal/data"
+	"fedcross/internal/experiments"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "vision10", "dataset: vision10, vision100, femnist, shakespeare, sent140")
+		betas   = flag.String("betas", "0.1,0.5,1.0", "comma-separated Dirichlet betas (vision datasets)")
+		clients = flag.Int("clients", 20, "number of clients")
+		show    = flag.Int("show", 10, "clients to display")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	prof := experiments.TinyProfile()
+	prof.NumClients = *clients
+
+	switch *dataset {
+	case "vision10", "vision100":
+		opts := experiments.Fig3Options{Profile: prof, ShowClients: *show, Seed: *seed}
+		for _, part := range strings.Split(*betas, ",") {
+			b, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad beta %q: %w", part, err))
+			}
+			opts.Betas = append(opts.Betas, b)
+		}
+		res, err := experiments.RunFig3(opts)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	default:
+		env, err := prof.BuildEnv(*dataset, "cnn", data.Heterogeneity{IID: true}, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d clients, %d training samples, %d test samples, %d classes\n",
+			env.Fed.Name, env.NumClients(), env.Fed.TotalTrainSamples(), env.Fed.Test.Len(), env.Fed.Classes)
+		fmt.Println("client\tsamples\ttop-class-share")
+		for i, shard := range env.Fed.Clients {
+			if i >= *show {
+				fmt.Printf("... (%d more clients)\n", env.NumClients()-*show)
+				break
+			}
+			counts := shard.ClassCounts()
+			maxC := 0
+			for _, c := range counts {
+				if c > maxC {
+					maxC = c
+				}
+			}
+			fmt.Printf("%d\t%d\t%.2f\n", i, shard.Len(), float64(maxC)/float64(shard.Len()))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datastats:", err)
+	os.Exit(1)
+}

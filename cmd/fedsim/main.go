@@ -1,0 +1,254 @@
+// Command fedsim runs the FedCross reproduction experiments: every table
+// and figure of the paper's evaluation, at a selectable scale.
+//
+// Usage:
+//
+//	fedsim -experiment table1                 # communication analysis
+//	fedsim -experiment table2 -profile tiny   # accuracy grid slice
+//	fedsim -experiment fig5 -profile small -models cnn,resnet
+//	fedsim -experiment all -profile tiny
+//
+// Profiles: tiny (seconds), small (minutes), paper (the scaled
+// paper-shaped setup; hours for the full grid).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fedcross/internal/core"
+	"fedcross/internal/data"
+	"fedcross/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "table1", "experiment to run: table1, table2, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, ablations, all")
+		profile    = flag.String("profile", "tiny", "run scale: tiny, small, paper")
+		modelsFlag = flag.String("models", "cnn", "comma-separated vision models (cnn,resnet,vgg,mlp)")
+		datasets   = flag.String("datasets", "vision10", "comma-separated datasets for table2")
+		betas      = flag.String("betas", "0.5", "comma-separated Dirichlet betas (non-IID settings)")
+		iid        = flag.Bool("iid", true, "include the IID setting where applicable")
+		alphas     = flag.String("alphas", "0.5,0.8,0.9,0.95,0.99,0.999", "comma-separated alphas for table3/fig8")
+		rounds     = flag.Int("rounds", 0, "override the profile's round count (0 keeps profile default)")
+		seeds      = flag.Int("seeds", 0, "override the number of seeds (0 keeps profile default)")
+	)
+	flag.Parse()
+
+	prof, err := profileByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	if *rounds > 0 {
+		prof.Rounds = *rounds
+	}
+	if *seeds > 0 {
+		prof.Seeds = prof.Seeds[:0]
+		for s := 1; s <= *seeds; s++ {
+			prof.Seeds = append(prof.Seeds, int64(s))
+		}
+	}
+
+	modelList := splitList(*modelsFlag)
+	datasetList := splitList(*datasets)
+	hetList, err := parseHets(*betas, *iid)
+	if err != nil {
+		fatal(err)
+	}
+	alphaList, err := parseFloats(*alphas)
+	if err != nil {
+		fatal(err)
+	}
+
+	run := func(name string) error {
+		fmt.Printf("=== %s (profile %s) ===\n", name, prof.Name)
+		switch name {
+		case "table1":
+			res, err := experiments.RunTableI(prof.ClientsPerRound)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "table2":
+			res, err := experiments.RunTableII(experiments.TableIIOptions{
+				Profile: prof, Models: modelList, Datasets: datasetList, Hets: hetList,
+			})
+			if err != nil {
+				return err
+			}
+			if err := res.Render(os.Stdout); err != nil {
+				return err
+			}
+			wins, total := res.FedCrossWins()
+			fmt.Printf("FedCross wins %d of %d cells\n", wins, total)
+			return nil
+		case "table3":
+			res, err := experiments.RunTableIII(experiments.TableIIIOptions{
+				Profile: prof, Alphas: alphaList,
+				Strategies: []core.Strategy{core.InOrder, core.HighestSimilarity, core.LowestSimilarity},
+				Model:      modelList[0], Beta: 1.0,
+			})
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "fig3":
+			opts := experiments.DefaultFig3Options()
+			opts.Profile = prof
+			res, err := experiments.RunFig3(opts)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "fig4":
+			opts := experiments.DefaultFig4Options()
+			opts.Profile = prof
+			opts.Model = modelList[0]
+			res, err := experiments.RunFig4(opts)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "fig5":
+			res, err := experiments.RunFig5(experiments.Fig5Options{Profile: prof, Models: modelList, Hets: hetList})
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "fig6":
+			opts := experiments.DefaultFig6Options()
+			opts.Profile = prof
+			opts.Model = modelList[0]
+			res, err := experiments.RunFig6(opts)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "fig7":
+			opts := experiments.DefaultFig7Options()
+			opts.Profile = prof
+			opts.Model = modelList[0]
+			res, err := experiments.RunFig7(opts)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "fig8":
+			opts := experiments.DefaultFig8Options()
+			opts.Profile = prof
+			opts.Model = modelList[0]
+			opts.Alphas = alphaList
+			res, err := experiments.RunFig8(opts)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "fig9":
+			opts := experiments.DefaultFig9Options()
+			opts.Profile = prof
+			opts.Model = modelList[0]
+			res, err := experiments.RunFig9(opts)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "ablations":
+			aopts := experiments.DefaultAblationOptions()
+			aopts.Profile = prof
+			aopts.Model = modelList[0]
+			shuffle, err := experiments.RunAblationShuffle(aopts)
+			if err != nil {
+				return err
+			}
+			if err := shuffle.Render(os.Stdout); err != nil {
+				return err
+			}
+			sim, err := experiments.RunAblationSimilarity(aopts)
+			if err != nil {
+				return err
+			}
+			if err := sim.Render(os.Stdout); err != nil {
+				return err
+			}
+			prop, err := experiments.RunAblationPropellerCount(aopts, []int{1, 2, 3})
+			if err != nil {
+				return err
+			}
+			return prop.Render(os.Stdout)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println()
+	}
+}
+
+func profileByName(name string) (experiments.Profile, error) {
+	switch name {
+	case "tiny":
+		return experiments.TinyProfile(), nil
+	case "small":
+		return experiments.SmallProfile(), nil
+	case "paper":
+		return experiments.PaperProfile(), nil
+	default:
+		return experiments.Profile{}, fmt.Errorf("unknown profile %q (want tiny, small or paper)", name)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{"cnn"}
+	}
+	return out
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseHets(betas string, iid bool) ([]data.Heterogeneity, error) {
+	vals, err := parseFloats(betas)
+	if err != nil {
+		return nil, err
+	}
+	var hets []data.Heterogeneity
+	for _, b := range vals {
+		hets = append(hets, data.Heterogeneity{Beta: b})
+	}
+	if iid {
+		hets = append(hets, data.Heterogeneity{IID: true})
+	}
+	return hets, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fedsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Private deployment: the paper's Section IV-F1 argues FedCross composes
+// with the privacy mechanisms used for FedAvg because its client protocol
+// is identical. This example trains FedCross, wraps it with the local-DP
+// release mechanism (clip + Gaussian noise), and reports the
+// accuracy/fairness cost of increasing noise via the per-client
+// evaluation report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedcross"
+)
+
+func main() {
+	profile := fedcross.TinyProfile()
+	profile.Rounds = 10
+	het := fedcross.Heterogeneity{Beta: 0.5}
+
+	fmt.Println("FedCross with differentially private model release")
+	fmt.Println("noise_std  test_acc  per-client mean  worst client")
+
+	for _, noise := range []float64{0, 0.005, 0.02, 0.08} {
+		env, err := profile.BuildEnv("vision10", "cnn", het, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inner, err := fedcross.NewFedCross(fedcross.DefaultFedCrossOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		algo, err := fedcross.WithPrivacy(inner, fedcross.PrivacyOptions{
+			ClipNorm: 5, NoiseStd: noise, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hist, err := fedcross.Run(algo, env, profile.Config(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := fedcross.EvaluatePerClient(env, algo.Global(), 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9.3f  %-8.3f  %-15.3f  %.3f\n",
+			noise, hist.Final().TestAcc, rep.Mean, rep.Worst)
+	}
+
+	fmt.Println("\nExpected shape: accuracy decays gracefully as release noise grows.")
+}

@@ -1,0 +1,38 @@
+// Strategy ablation: a slice of the paper's Table III. Sweeps the
+// cross-aggregation weight alpha against the three collaborative-model
+// selection strategies and prints the accuracy grid. The paper's shape:
+// lowest-similarity wins for most alphas, highest-similarity is the worst
+// (similar models cluster and the final averaging suffers), and
+// alpha = 0.999 collapses.
+package main
+
+import (
+	"log"
+	"os"
+
+	"fedcross/internal/core"
+	"fedcross/internal/experiments"
+)
+
+func main() {
+	profile := experiments.TinyProfile()
+	profile.Rounds = 12
+
+	res, err := experiments.RunTableIII(experiments.TableIIIOptions{
+		Profile: profile,
+		Alphas:  []float64{0.5, 0.9, 0.99, 0.999},
+		Strategies: []core.Strategy{
+			core.InOrder,
+			core.HighestSimilarity,
+			core.LowestSimilarity,
+		},
+		Model: "cnn",
+		Beta:  1.0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

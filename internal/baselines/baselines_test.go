@@ -1,0 +1,268 @@
+package baselines
+
+import (
+	"testing"
+
+	"fedcross/internal/data"
+	"fedcross/internal/fl"
+	"fedcross/internal/models"
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+func testEnv(seed int64, clients int, het data.Heterogeneity) *fl.Env {
+	cfg := data.VisionConfig{
+		Classes: 4, Features: 12,
+		TrainPerClass: 50, TestPerClass: 20,
+		ModesPerClass: 2, Sep: 1.2, Noise: 0.35, Seed: seed,
+	}
+	fed := data.BuildVision(cfg, clients, het, seed+1)
+	return &fl.Env{Fed: fed, Model: models.MLP(12, 16, 4)}
+}
+
+func testCfg(rounds int) fl.Config {
+	return fl.Config{
+		Rounds: rounds, ClientsPerRound: 4, LocalEpochs: 2, BatchSize: 16,
+		LR: 0.05, Momentum: 0.5, EvalEvery: 0, Seed: 3,
+	}
+}
+
+func allBaselines(t *testing.T) []fl.Algorithm {
+	t.Helper()
+	prox, err := NewFedProx(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewFedGen(DefaultFedGenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []fl.Algorithm{NewFedAvg(), prox, NewSCAFFOLD(), gen, NewCluSamp()}
+}
+
+func TestAllBaselinesEndToEnd(t *testing.T) {
+	for _, algo := range allBaselines(t) {
+		algo := algo
+		t.Run(algo.Name(), func(t *testing.T) {
+			env := testEnv(1, 8, data.Heterogeneity{Beta: 0.5})
+			hist, err := fl.Run(algo, env, testCfg(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hist.Final().TestAcc < 0.35 {
+				t.Fatalf("%s final accuracy %v, expected clearly above 25%% chance", algo.Name(), hist.Final().TestAcc)
+			}
+		})
+	}
+}
+
+func TestBaselineCategoriesMatchTableI(t *testing.T) {
+	want := map[string]string{
+		"fedavg":   "Classic",
+		"fedprox":  "Global Control Variable",
+		"scaffold": "Global Control Variable",
+		"fedgen":   "Knowledge Distillation",
+		"clusamp":  "Client Grouping",
+	}
+	for _, algo := range allBaselines(t) {
+		if got := algo.Category(); got != want[algo.Name()] {
+			t.Fatalf("%s category %q, want %q", algo.Name(), got, want[algo.Name()])
+		}
+	}
+}
+
+func TestCommProfilesMatchTableI(t *testing.T) {
+	classes := map[string]string{
+		"fedavg":   "Low",
+		"fedprox":  "Low",
+		"scaffold": "High",
+		"fedgen":   "Medium",
+		"clusamp":  "Low",
+	}
+	for _, algo := range allBaselines(t) {
+		got := algo.RoundComm(10).OverheadClass()
+		if got != classes[algo.Name()] {
+			t.Fatalf("%s overhead %q, want %q", algo.Name(), got, classes[algo.Name()])
+		}
+	}
+}
+
+func TestFedAvgAggregationWeighted(t *testing.T) {
+	// With one dominant client, the global model should land near that
+	// client's upload. Construct directly via the aggregation helper.
+	uploads := []nn.ParamVector{{0, 0}, {10, 10}}
+	got := nn.WeightedMeanVectors(uploads, []float64{1, 9})
+	if got[0] != 9 {
+		t.Fatalf("weighted mean = %v", got)
+	}
+}
+
+func TestFedProxValidation(t *testing.T) {
+	if _, err := NewFedProx(0); err == nil {
+		t.Fatal("mu=0 must be rejected")
+	}
+	if _, err := NewFedProx(-1); err == nil {
+		t.Fatal("negative mu must be rejected")
+	}
+}
+
+func TestFedGenValidation(t *testing.T) {
+	bad := DefaultFedGenOptions()
+	bad.NoiseDim = 0
+	if _, err := NewFedGen(bad); err == nil {
+		t.Fatal("NoiseDim=0 must be rejected")
+	}
+	bad = DefaultFedGenOptions()
+	bad.GenLR = 0
+	if _, err := NewFedGen(bad); err == nil {
+		t.Fatal("GenLR=0 must be rejected")
+	}
+	bad = DefaultFedGenOptions()
+	bad.AugmentPerClient = -1
+	if _, err := NewFedGen(bad); err == nil {
+		t.Fatal("negative augment must be rejected")
+	}
+}
+
+func TestSCAFFOLDControlVariatesEvolve(t *testing.T) {
+	env := testEnv(2, 6, data.Heterogeneity{Beta: 0.5})
+	algo := NewSCAFFOLD()
+	cfg := testCfg(3)
+	if _, err := fl.Run(algo, env, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if algo.c.Norm() == 0 {
+		t.Fatal("server control variate should be nonzero after training")
+	}
+	participated := 0
+	for _, ci := range algo.ci {
+		if ci != nil {
+			participated++
+		}
+	}
+	if participated == 0 {
+		t.Fatal("no client variates were initialised")
+	}
+}
+
+func TestSCAFFOLDDriftCorrectionChangesTrajectory(t *testing.T) {
+	// SCAFFOLD and FedAvg start identically; after several rounds on
+	// non-IID data their trajectories must differ (the variates bite).
+	env := testEnv(3, 6, data.Heterogeneity{Beta: 0.1})
+	cfg := testCfg(4)
+	hAvg, err := fl.Run(NewFedAvg(), env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hSca, err := fl.Run(NewSCAFFOLD(), env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hAvg.Final().TestAcc == hSca.Final().TestAcc && hAvg.Final().TestLoss == hSca.Final().TestLoss {
+		t.Fatal("SCAFFOLD should diverge from FedAvg on non-IID data")
+	}
+}
+
+func TestFedGenGeneratorLearns(t *testing.T) {
+	env := testEnv(4, 6, data.Heterogeneity{Beta: 0.5})
+	gen, err := NewFedGen(DefaultFedGenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg(3)
+	if _, err := fl.Run(gen, env, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// After rounds, generated samples should be classified as their
+	// conditioning label by the global model more often than chance.
+	x, y := gen.generate(200)
+	net := env.Model.New(tensor.NewRNG(0))
+	if err := nn.LoadParams(net.Params(), gen.Global()); err != nil {
+		t.Fatal(err)
+	}
+	logits := net.Forward(x, false)
+	acc := nn.Accuracy(logits, y)
+	if acc < 0.3 {
+		t.Fatalf("generator-label agreement %v, want > chance 0.25", acc)
+	}
+}
+
+func TestCluSampSelectionProperties(t *testing.T) {
+	env := testEnv(5, 10, data.Heterogeneity{Beta: 0.5})
+	algo := NewCluSamp()
+	cfg := testCfg(1)
+	rng := tensor.NewRNG(7)
+	if err := algo.Init(env, cfg, rng); err != nil {
+		t.Fatal(err)
+	}
+	// Cold start: all clients cold, selection must be k distinct clients.
+	sel := algo.SelectClients(0, rng, 10, 4)
+	if len(sel) != 4 {
+		t.Fatalf("selected %d, want 4", len(sel))
+	}
+	seen := map[int]bool{}
+	for _, c := range sel {
+		if c < 0 || c >= 10 || seen[c] {
+			t.Fatalf("bad selection %v", sel)
+		}
+		seen[c] = true
+	}
+	// Warm up all clients, then clustered selection must still return k
+	// valid indices.
+	if err := algo.Round(0, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}); err != nil {
+		t.Fatal(err)
+	}
+	sel2 := algo.SelectClients(1, rng, 10, 4)
+	if len(sel2) != 4 {
+		t.Fatalf("warm selection %v", sel2)
+	}
+	for _, c := range sel2 {
+		if c < 0 || c >= 10 {
+			t.Fatalf("warm selection out of range: %v", sel2)
+		}
+	}
+}
+
+func TestBaselinesTolerateFullDropout(t *testing.T) {
+	// A round where every selected client drops must not error and must
+	// leave the global model unchanged.
+	for _, algo := range allBaselines(t) {
+		env := testEnv(6, 4, data.Heterogeneity{IID: true})
+		cfg := testCfg(1)
+		rng := tensor.NewRNG(1)
+		if err := algo.Init(env, cfg, rng); err != nil {
+			t.Fatalf("%s init: %v", algo.Name(), err)
+		}
+		before := algo.Global().Clone()
+		if err := algo.Round(0, []int{-1, -1, -1, -1}); err != nil {
+			t.Fatalf("%s full-dropout round: %v", algo.Name(), err)
+		}
+		after := algo.Global()
+		if before.DistanceSq(after) != 0 {
+			t.Fatalf("%s changed global model with zero uploads", algo.Name())
+		}
+	}
+}
+
+func TestBaselinesDeterministic(t *testing.T) {
+	cfg := testCfg(2)
+	for _, name := range []string{"fedavg", "scaffold"} {
+		mk := func() fl.Algorithm {
+			if name == "fedavg" {
+				return NewFedAvg()
+			}
+			return NewSCAFFOLD()
+		}
+		h1, err := fl.Run(mk(), testEnv(7, 5, data.Heterogeneity{IID: true}), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := fl.Run(mk(), testEnv(7, 5, data.Heterogeneity{IID: true}), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1.Final().TestAcc != h2.Final().TestAcc {
+			t.Fatalf("%s not deterministic: %v vs %v", name, h1.Final().TestAcc, h2.Final().TestAcc)
+		}
+	}
+}

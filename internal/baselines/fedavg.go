@@ -1,0 +1,88 @@
+// Package baselines implements the five comparison methods of the paper's
+// evaluation: FedAvg (classic), FedProx and SCAFFOLD (global control
+// variable methods), FedGen (knowledge distillation) and CluSamp (client
+// grouping). All satisfy fl.Algorithm and run against the same
+// environments as FedCross.
+package baselines
+
+import (
+	"fmt"
+
+	"fedcross/internal/fl"
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+// FedAvg is the classic one-to-multi scheme: dispatch the global model to
+// K clients, train locally, and average the uploads weighted by local
+// sample counts (McMahan et al., 2017).
+type FedAvg struct {
+	env    *fl.Env
+	cfg    fl.Config
+	rng    *tensor.RNG
+	global nn.ParamVector
+}
+
+// NewFedAvg returns a FedAvg instance.
+func NewFedAvg() *FedAvg { return &FedAvg{} }
+
+// Name implements fl.Algorithm.
+func (a *FedAvg) Name() string { return "fedavg" }
+
+// Category implements fl.Algorithm.
+func (a *FedAvg) Category() string { return "Classic" }
+
+// Init creates the initial global model.
+func (a *FedAvg) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
+	a.env, a.cfg, a.rng = env, cfg, rng
+	a.global = nn.FlattenParams(env.Model.New(rng.Split()).Params())
+	return nil
+}
+
+// Round trains the selected clients from the global model and averages.
+func (a *FedAvg) Round(r int, selected []int) error {
+	uploads, weights, err := trainSelected(a.env, a.cfg, a.rng, a.global, selected, fl.LocalSpec{})
+	if err != nil {
+		return fmt.Errorf("baselines: fedavg round %d: %w", r, err)
+	}
+	if len(uploads) == 0 {
+		return nil // every client dropped; keep the current global model
+	}
+	a.global = nn.WeightedMeanVectors(uploads, weights)
+	return nil
+}
+
+// Global implements fl.Algorithm.
+func (a *FedAvg) Global() nn.ParamVector { return a.global }
+
+// RoundComm implements fl.Algorithm: K models down, K models up.
+func (a *FedAvg) RoundComm(k int) fl.CommProfile {
+	return fl.CommProfile{ModelsDown: k, ModelsUp: k}
+}
+
+// trainSelected runs local training from init on every surviving selected
+// client, applying the extra LocalSpec hooks (Prox/ProxRef/GradCorrection
+// are taken from hooks; the loop fills in the shared fields). It returns
+// the uploaded vectors and their sample-count weights.
+func trainSelected(env *fl.Env, cfg fl.Config, rng *tensor.RNG, init nn.ParamVector, selected []int, hooks fl.LocalSpec) ([]nn.ParamVector, []float64, error) {
+	var uploads []nn.ParamVector
+	var weights []float64
+	for _, ci := range selected {
+		if ci < 0 {
+			continue // dropped client
+		}
+		spec := hooks
+		spec.Init = init
+		spec.Epochs = cfg.LocalEpochs
+		spec.BatchSize = cfg.BatchSize
+		spec.LR = cfg.LR
+		spec.Momentum = cfg.Momentum
+		res, err := fl.TrainLocal(env.Model, env.Fed.Clients[ci], spec, rng.Split())
+		if err != nil {
+			return nil, nil, fmt.Errorf("client %d: %w", ci, err)
+		}
+		uploads = append(uploads, res.Params)
+		weights = append(weights, float64(res.Samples))
+	}
+	return uploads, weights, nil
+}

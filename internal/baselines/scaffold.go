@@ -1,0 +1,99 @@
+package baselines
+
+import (
+	"fmt"
+
+	"fedcross/internal/fl"
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+// SCAFFOLD corrects client drift with control variates (Karimireddy et
+// al., ICML 2020). The server keeps a global variate c and each client a
+// local variate cᵢ; every local SGD step adds (c − cᵢ) to the gradient.
+// After training, clients refresh cᵢ with the option-II rule
+// cᵢ⁺ = cᵢ − c + (x − yᵢ)/(S·η) and the server folds the deltas into x
+// and c. Both the model and the variate travel each way, which is why
+// Table I classes its communication overhead as High.
+type SCAFFOLD struct {
+	env    *fl.Env
+	cfg    fl.Config
+	rng    *tensor.RNG
+	global nn.ParamVector
+	c      nn.ParamVector   // server control variate
+	ci     []nn.ParamVector // per-client control variates, lazily zero
+}
+
+// NewSCAFFOLD returns a SCAFFOLD instance.
+func NewSCAFFOLD() *SCAFFOLD { return &SCAFFOLD{} }
+
+// Name implements fl.Algorithm.
+func (a *SCAFFOLD) Name() string { return "scaffold" }
+
+// Category implements fl.Algorithm.
+func (a *SCAFFOLD) Category() string { return "Global Control Variable" }
+
+// Init creates the global model and zero control variates.
+func (a *SCAFFOLD) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
+	a.env, a.cfg, a.rng = env, cfg, rng
+	a.global = nn.FlattenParams(env.Model.New(rng.Split()).Params())
+	a.c = make(nn.ParamVector, len(a.global))
+	a.ci = make([]nn.ParamVector, env.NumClients())
+	return nil
+}
+
+// Round implements the SCAFFOLD round with server step size 1.
+func (a *SCAFFOLD) Round(r int, selected []int) error {
+	n := len(a.global)
+	var modelDeltaSum, variateDeltaSum nn.ParamVector
+	participants := 0
+
+	for _, ci := range selected {
+		if ci < 0 {
+			continue
+		}
+		if a.ci[ci] == nil {
+			a.ci[ci] = make(nn.ParamVector, n)
+		}
+		corr := a.c.Sub(a.ci[ci])
+		res, err := fl.TrainLocal(a.env.Model, a.env.Fed.Clients[ci], fl.LocalSpec{
+			Init: a.global, Epochs: a.cfg.LocalEpochs, BatchSize: a.cfg.BatchSize,
+			LR: a.cfg.LR, Momentum: a.cfg.Momentum, GradCorrection: corr,
+		}, a.rng.Split())
+		if err != nil {
+			return fmt.Errorf("baselines: scaffold round %d client %d: %w", r, ci, err)
+		}
+		if res.Steps == 0 {
+			continue
+		}
+		// Option II variate refresh: cᵢ⁺ = cᵢ − c + (x − yᵢ)/(steps·η).
+		inv := 1.0 / (float64(res.Steps) * a.cfg.LR)
+		ciNew := a.ci[ci].Sub(a.c)
+		drift := a.global.Sub(res.Params)
+		ciNew.AXPY(inv, drift)
+
+		if modelDeltaSum == nil {
+			modelDeltaSum = make(nn.ParamVector, n)
+			variateDeltaSum = make(nn.ParamVector, n)
+		}
+		modelDeltaSum.AXPY(1, res.Params.Sub(a.global))
+		variateDeltaSum.AXPY(1, ciNew.Sub(a.ci[ci]))
+		a.ci[ci] = ciNew
+		participants++
+	}
+	if participants == 0 {
+		return nil
+	}
+	// Server updates: x ← x + (1/|S|)·Σ(yᵢ−x); c ← c + (|S|/N)·mean variate delta.
+	a.global.AXPY(1/float64(participants), modelDeltaSum)
+	a.c.AXPY(1/float64(a.env.NumClients()), variateDeltaSum)
+	return nil
+}
+
+// Global implements fl.Algorithm.
+func (a *SCAFFOLD) Global() nn.ParamVector { return a.global }
+
+// RoundComm implements fl.Algorithm: model + variate in each direction.
+func (a *SCAFFOLD) RoundComm(k int) fl.CommProfile {
+	return fl.CommProfile{ModelsDown: k, ModelsUp: k, VarsDown: k, VarsUp: k}
+}

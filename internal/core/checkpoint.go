@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"fedcross/internal/nn"
+)
+
+// Checkpointing lets a FedCross deployment persist the middleware-model
+// list between rounds. The paper notes that global-model generation "can
+// be performed asynchronously at any time"; a checkpoint is exactly the
+// state that makes that possible — an external process can load it and
+// call GlobalModelGen without touching training.
+//
+// Wire format (little endian):
+//
+//	magic  uint32 = 0x46435253 ("FCRS")
+//	k      uint32 — number of middleware models
+//	n      uint64 — parameters per model
+//	k × n  float64 bits
+
+const checkpointMagic = 0x46435253
+
+// Save serialises the middleware models to w.
+func (f *FedCross) Save(w io.Writer) error {
+	if len(f.middleware) == 0 {
+		return fmt.Errorf("core: Save: FedCross not initialised")
+	}
+	n := len(f.middleware[0])
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], checkpointMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(f.middleware)))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(n))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("core: Save header: %w", err)
+	}
+	buf := make([]byte, 8*n)
+	for i, m := range f.middleware {
+		if len(m) != n {
+			return fmt.Errorf("core: Save: middleware %d has %d params, want %d", i, len(m), n)
+		}
+		for j, v := range m {
+			binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("core: Save model %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Load restores a middleware list written by Save, replacing any current
+// state. The instance must have compatible options (Load does not check
+// architecture compatibility — loading into a run with a different model
+// factory will surface as a LoadParams error on the next round).
+func (f *FedCross) Load(r io.Reader) error {
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return fmt.Errorf("core: Load header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != checkpointMagic {
+		return fmt.Errorf("core: Load: bad magic %#x", got)
+	}
+	k := int(binary.LittleEndian.Uint32(hdr[4:]))
+	n := int(binary.LittleEndian.Uint64(hdr[8:]))
+	if k < 2 || k > 1<<20 {
+		return fmt.Errorf("core: Load: implausible middleware count %d", k)
+	}
+	if n <= 0 || n > 1<<34 {
+		return fmt.Errorf("core: Load: implausible parameter count %d", n)
+	}
+	mid := make([]nn.ParamVector, k)
+	buf := make([]byte, 8*n)
+	for i := range mid {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("core: Load model %d: %w", i, err)
+		}
+		v := make(nn.ParamVector, n)
+		for j := range v {
+			v[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		}
+		mid[i] = v
+	}
+	f.middleware = mid
+	return nil
+}

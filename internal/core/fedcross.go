@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+
+	"fedcross/internal/fl"
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+// AccelMode selects a Section III-D training-acceleration method.
+type AccelMode int
+
+const (
+	// AccelNone runs vanilla FedCross.
+	AccelNone AccelMode = iota
+	// AccelPropeller aggregates each middleware model with several
+	// in-order "propeller" models during the acceleration window
+	// ("FedCross w/ PM").
+	AccelPropeller
+	// AccelDynamicAlpha ramps α from DynAlphaStart up to Alpha across the
+	// acceleration window ("FedCross w/ DA").
+	AccelDynamicAlpha
+	// AccelBoth uses propeller models for the first half of the window and
+	// dynamic α for the second half ("FedCross w/ PM-DA").
+	AccelBoth
+)
+
+// String returns the mode's report name.
+func (m AccelMode) String() string {
+	switch m {
+	case AccelNone:
+		return "vanilla"
+	case AccelPropeller:
+		return "pm"
+	case AccelDynamicAlpha:
+		return "da"
+	case AccelBoth:
+		return "pm-da"
+	default:
+		return fmt.Sprintf("accel(%d)", int(m))
+	}
+}
+
+// Options configures FedCross. The zero value is not valid; use
+// DefaultOptions.
+type Options struct {
+	// Alpha is the cross-aggregation weight of the model's own update;
+	// the paper requires α ∈ [0.5, 1) and recommends 0.99.
+	Alpha float64
+	// Strategy picks the collaborative model (paper default: lowest
+	// similarity).
+	Strategy Strategy
+	// Similarity is the measure behind the similarity strategies
+	// (default cosine).
+	Similarity SimilarityFunc
+	// Accel selects a training-acceleration method.
+	Accel AccelMode
+	// AccelRounds is the acceleration window length (rounds).
+	AccelRounds int
+	// PropellerCount is how many in-order propeller models each
+	// middleware model learns from during AccelPropeller.
+	PropellerCount int
+	// DynAlphaStart is the initial α of the dynamic-α ramp.
+	DynAlphaStart float64
+	// DisableShuffle turns off Algorithm 1's Shuffle(Lc) step, pinning
+	// middleware model i to selected client slot i. The paper keeps the
+	// shuffle because without it "each middleware model will be dispatched
+	// to the clients encountered in the previous training rounds with a
+	// high probability"; this switch exists for the ablation that
+	// quantifies that claim.
+	DisableShuffle bool
+}
+
+// DefaultOptions mirrors the paper's recommended setting: α = 0.99 with
+// the lowest-similarity strategy, no acceleration.
+func DefaultOptions() Options {
+	return Options{
+		Alpha:          0.99,
+		Strategy:       LowestSimilarity,
+		Similarity:     CosineSimilarity,
+		Accel:          AccelNone,
+		AccelRounds:    100,
+		PropellerCount: 3,
+		DynAlphaStart:  0.5,
+	}
+}
+
+// Validate reports the first problem with the options.
+func (o Options) Validate() error {
+	switch {
+	case o.Alpha < 0.5 || o.Alpha >= 1:
+		return fmt.Errorf("core: alpha %v out of the paper's range [0.5, 1)", o.Alpha)
+	case o.Strategy != InOrder && o.Strategy != HighestSimilarity && o.Strategy != LowestSimilarity:
+		return fmt.Errorf("core: unknown strategy %d", int(o.Strategy))
+	case o.Accel < AccelNone || o.Accel > AccelBoth:
+		return fmt.Errorf("core: unknown acceleration mode %d", int(o.Accel))
+	case o.Accel != AccelNone && o.AccelRounds <= 0:
+		return fmt.Errorf("core: acceleration needs AccelRounds > 0, got %d", o.AccelRounds)
+	case (o.Accel == AccelPropeller || o.Accel == AccelBoth) && o.PropellerCount < 1:
+		return fmt.Errorf("core: propeller acceleration needs PropellerCount >= 1, got %d", o.PropellerCount)
+	case (o.Accel == AccelDynamicAlpha || o.Accel == AccelBoth) && (o.DynAlphaStart < 0.5 || o.DynAlphaStart > o.Alpha):
+		return fmt.Errorf("core: DynAlphaStart %v must lie in [0.5, alpha=%v]", o.DynAlphaStart, o.Alpha)
+	}
+	return nil
+}
+
+// FedCross is the multi-model cross-aggregation algorithm. It satisfies
+// fl.Algorithm.
+type FedCross struct {
+	opts Options
+
+	env *fl.Env
+	cfg fl.Config
+	rng *tensor.RNG
+
+	// middleware holds the K middleware-model parameter vectors W.
+	middleware []nn.ParamVector
+}
+
+// New constructs a FedCross instance with the given options.
+func New(opts Options) (*FedCross, error) {
+	if opts.Similarity == nil {
+		opts.Similarity = CosineSimilarity
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &FedCross{opts: opts}, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(opts Options) *FedCross {
+	f, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Name implements fl.Algorithm.
+func (f *FedCross) Name() string {
+	if f.opts.Accel == AccelNone {
+		return "fedcross"
+	}
+	return "fedcross+" + f.opts.Accel.String()
+}
+
+// Category implements fl.Algorithm (Table I's taxonomy).
+func (f *FedCross) Category() string { return "Multi-Model Guided" }
+
+// Init creates the K middleware models. All K start from one shared
+// random initialisation (FedCross is "implemented on top of vanilla
+// FedAvg", whose global model is cloned to every participant): averaging
+// independently initialised networks is meaningless under permutation
+// symmetry, so a shared starting point is what makes GlobalModelGen's
+// one-shot average coherent. The models then diverge only through local
+// training, and cross-aggregation bounds how far apart they drift.
+func (f *FedCross) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
+	f.env, f.cfg, f.rng = env, cfg, rng
+	k := cfg.ClientsPerRound
+	if k > env.NumClients() {
+		k = env.NumClients()
+	}
+	if k < 2 {
+		return fmt.Errorf("core: FedCross needs at least 2 clients per round, got %d", k)
+	}
+	init := nn.FlattenParams(env.Model.New(rng.Split()).Params())
+	f.middleware = make([]nn.ParamVector, k)
+	for i := range f.middleware {
+		f.middleware[i] = init.Clone()
+	}
+	return nil
+}
+
+// Round implements Algorithm 1's training loop body: shuffle the
+// model-to-client assignment, train each middleware model on its client,
+// then cross-aggregate every upload with its collaborative model.
+func (f *FedCross) Round(r int, selected []int) error {
+	k := len(f.middleware)
+	if len(selected) < k {
+		return fmt.Errorf("core: FedCross round %d: %d selected clients for %d middleware models", r, len(selected), k)
+	}
+	// Shuffle(Lc): randomise which client trains which middleware model so
+	// each model sees different data across rounds even if selection
+	// repeats. The ablation switch pins the identity assignment instead.
+	var assign []int
+	if f.opts.DisableShuffle {
+		assign = make([]int, k)
+		for i := range assign {
+			assign[i] = i
+		}
+	} else {
+		assign = f.rng.Perm(k)
+	}
+
+	// Local training. A dropped client (-1) leaves its middleware model
+	// untrained this round (v_i = w_i), the natural fault-tolerant reading
+	// of Algorithm 1.
+	uploads := make([]nn.ParamVector, k)
+	for i := 0; i < k; i++ {
+		ci := selected[assign[i]]
+		if ci < 0 {
+			uploads[i] = f.middleware[i]
+			continue
+		}
+		res, err := fl.TrainLocal(f.env.Model, f.env.Fed.Clients[ci], fl.LocalSpec{
+			Init:      f.middleware[i],
+			Epochs:    f.cfg.LocalEpochs,
+			BatchSize: f.cfg.BatchSize,
+			LR:        f.cfg.LR,
+			Momentum:  f.cfg.Momentum,
+		}, f.rng.Split())
+		if err != nil {
+			return fmt.Errorf("core: FedCross round %d client %d: %w", r, ci, err)
+		}
+		uploads[i] = res.Params
+	}
+
+	f.middleware = f.aggregate(r, uploads)
+	return nil
+}
+
+// aggregate applies cross-aggregation (with any active acceleration) to
+// the uploads and returns the next round's middleware list.
+func (f *FedCross) aggregate(r int, uploads []nn.ParamVector) []nn.ParamVector {
+	k := len(uploads)
+	next := make([]nn.ParamVector, k)
+	alpha := f.effectiveAlpha(r)
+	usePropeller := f.propellerActive(r)
+	for i := 0; i < k; i++ {
+		if usePropeller {
+			next[i] = f.propellerAggr(i, r, uploads, alpha)
+			continue
+		}
+		co := CoModelSel(f.opts.Strategy, i, r, uploads, f.opts.Similarity)
+		next[i] = CrossAggr(uploads[i], uploads[co], alpha)
+	}
+	return next
+}
+
+// effectiveAlpha returns α for round r, honouring dynamic-α acceleration.
+func (f *FedCross) effectiveAlpha(r int) float64 {
+	switch f.opts.Accel {
+	case AccelDynamicAlpha:
+		return f.rampAlpha(r, 0, f.opts.AccelRounds)
+	case AccelBoth:
+		// DA covers the second half of the window.
+		half := f.opts.AccelRounds / 2
+		if r < half {
+			return f.opts.Alpha // PM phase uses the nominal alpha
+		}
+		return f.rampAlpha(r, half, f.opts.AccelRounds)
+	default:
+		return f.opts.Alpha
+	}
+}
+
+// rampAlpha linearly interpolates from DynAlphaStart at round start to
+// Alpha at round end, clamping afterwards.
+func (f *FedCross) rampAlpha(r, start, end int) float64 {
+	if r >= end || end <= start {
+		return f.opts.Alpha
+	}
+	if r < start {
+		r = start
+	}
+	frac := float64(r-start) / float64(end-start)
+	return f.opts.DynAlphaStart + frac*(f.opts.Alpha-f.opts.DynAlphaStart)
+}
+
+// propellerActive reports whether propeller aggregation applies in round r.
+func (f *FedCross) propellerActive(r int) bool {
+	switch f.opts.Accel {
+	case AccelPropeller:
+		return r < f.opts.AccelRounds
+	case AccelBoth:
+		return r < f.opts.AccelRounds/2
+	default:
+		return false
+	}
+}
+
+// propellerAggr fuses upload i with the mean of its P in-order propeller
+// models: α·v_i + (1−α)·mean(propellers). Using several propellers gives
+// each middleware model more knowledge per round, accelerating early
+// training (Section III-D).
+func (f *FedCross) propellerAggr(i, r int, uploads []nn.ParamVector, alpha float64) nn.ParamVector {
+	k := len(uploads)
+	p := f.opts.PropellerCount
+	if p > k-1 {
+		p = k - 1
+	}
+	props := make([]nn.ParamVector, 0, p)
+	for step := 0; step < p; step++ {
+		j := CoModelSel(InOrder, i, r+step, uploads, nil)
+		props = append(props, uploads[j])
+	}
+	return CrossAggr(uploads[i], nn.MeanVectors(props), alpha)
+}
+
+// Global implements fl.Algorithm: the one-shot average of the middleware
+// models, computed on demand because it never trains.
+func (f *FedCross) Global() nn.ParamVector {
+	return GlobalModelGen(f.middleware)
+}
+
+// Middleware exposes copies of the middleware-model vectors for analysis
+// (loss landscapes, similarity audits).
+func (f *FedCross) Middleware() []nn.ParamVector {
+	out := make([]nn.ParamVector, len(f.middleware))
+	for i, m := range f.middleware {
+		out[i] = m.Clone()
+	}
+	return out
+}
+
+// RoundComm implements fl.Algorithm: K models down, K models up — exactly
+// FedAvg's footprint, the paper's Table I "Low" row.
+func (f *FedCross) RoundComm(k int) fl.CommProfile {
+	return fl.CommProfile{ModelsDown: k, ModelsUp: k}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"fedcross/internal/nn"
+)
+
+// Strategy names a collaborative-model selection criterion (Section
+// III-B.1).
+type Strategy int
+
+const (
+	// InOrder cycles deterministically so that within every K−1 rounds
+	// each middleware model collaborates with every other model exactly
+	// once (adequacy-and-diversity criterion).
+	InOrder Strategy = iota
+	// HighestSimilarity picks the most similar upload (gradient-divergence
+	// minimisation). The paper shows it is the worst choice globally:
+	// similar models cluster and the final averaging suffers.
+	HighestSimilarity
+	// LowestSimilarity picks the least similar upload (knowledge
+	// maximisation) — the paper's recommended strategy.
+	LowestSimilarity
+)
+
+// String returns the strategy's report name.
+func (s Strategy) String() string {
+	switch s {
+	case InOrder:
+		return "in-order"
+	case HighestSimilarity:
+		return "highest-similarity"
+	case LowestSimilarity:
+		return "lowest-similarity"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// StrategyByName resolves a strategy for CLI flags.
+func StrategyByName(name string) (Strategy, error) {
+	switch name {
+	case "in-order", "inorder":
+		return InOrder, nil
+	case "highest-similarity", "highest":
+		return HighestSimilarity, nil
+	case "", "lowest-similarity", "lowest":
+		return LowestSimilarity, nil
+	default:
+		return 0, fmt.Errorf("core: unknown selection strategy %q (want in-order, highest or lowest)", name)
+	}
+}
+
+// CoModelSel returns the index of the collaborative model for uploaded
+// model i in round r, given the full upload list w. It implements the
+// paper's three strategies; sim is only consulted by the similarity-based
+// ones.
+func CoModelSel(strategy Strategy, i, r int, w []nn.ParamVector, sim SimilarityFunc) int {
+	k := len(w)
+	if k < 2 {
+		panic(fmt.Sprintf("core: CoModelSel requires at least 2 models, got %d", k))
+	}
+	if i < 0 || i >= k {
+		panic(fmt.Sprintf("core: CoModelSel index %d out of range [0,%d)", i, k))
+	}
+	switch strategy {
+	case InOrder:
+		// Paper formula: (i + (r%(K−1) + 1)) % K. The offset cycles through
+		// 1..K−1, so the choice is never i itself and covers every peer
+		// exactly once per K−1 rounds.
+		return (i + (r%(k-1) + 1)) % k
+	case HighestSimilarity, LowestSimilarity:
+		if sim == nil {
+			sim = CosineSimilarity
+		}
+		best := -1
+		var bestScore float64
+		for j := 0; j < k; j++ {
+			if j == i {
+				continue
+			}
+			s := sim(w[i], w[j])
+			if best == -1 ||
+				(strategy == HighestSimilarity && s > bestScore) ||
+				(strategy == LowestSimilarity && s < bestScore) {
+				best, bestScore = j, s
+			}
+		}
+		return best
+	default:
+		panic(fmt.Sprintf("core: unknown strategy %v", strategy))
+	}
+}
+
+// CrossAggr fuses an uploaded model with its collaborative model:
+// α·v + (1−α)·v_co (Section III-B.2).
+func CrossAggr(v, vco nn.ParamVector, alpha float64) nn.ParamVector {
+	return v.Lerp(vco, alpha)
+}
+
+// GlobalModelGen produces the deployment model: the plain average of the
+// middleware models (Section III-B.3). It never participates in training.
+func GlobalModelGen(w []nn.ParamVector) nn.ParamVector {
+	return nn.MeanVectors(w)
+}

@@ -1,0 +1,64 @@
+// Package core implements FedCross, the paper's primary contribution: a
+// multi-to-multi FL training scheme in which K middleware models are
+// shuffle-dispatched to K clients each round, then pairwise fused by
+// cross-aggregation (CrossAggr) with collaborative models chosen by one of
+// three selection strategies (CoModelSel). The deployment model is the
+// one-shot average of the middleware models (GlobalModelGen) and never
+// trains. Two acceleration methods — propeller models and dynamic α —
+// implement Section III-D.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fedcross/internal/nn"
+)
+
+// SimilarityFunc scores how aligned two parameter vectors are; higher
+// means more similar. It drives the highest/lowest-similarity selection
+// strategies.
+type SimilarityFunc func(a, b nn.ParamVector) float64
+
+// CosineSimilarity is the standard cosine: dot(a,b)/(‖a‖·‖b‖). The paper
+// names cosine similarity as its measure; this is the default.
+func CosineSimilarity(a, b nn.ParamVector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return a.Dot(b) / (na * nb)
+}
+
+// PaperSimilarity is the formula as printed in the paper, which divides by
+// the *sum* of norms rather than their product: dot(a,b)/(‖a‖+‖b‖).
+// It is provided for fidelity; rankings usually agree with cosine because
+// middleware-model norms stay close to each other (see DESIGN.md §5).
+func PaperSimilarity(a, b nn.ParamVector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na+nb == 0 {
+		return 0
+	}
+	return a.Dot(b) / (na + nb)
+}
+
+// EuclideanSimilarity is the negated L2 distance, the alternative measure
+// the paper leaves as future work. Higher (less negative) means more
+// similar.
+func EuclideanSimilarity(a, b nn.ParamVector) float64 {
+	return -math.Sqrt(a.DistanceSq(b))
+}
+
+// SimilarityByName resolves a measure for CLI flags.
+func SimilarityByName(name string) (SimilarityFunc, error) {
+	switch name {
+	case "", "cosine":
+		return CosineSimilarity, nil
+	case "paper":
+		return PaperSimilarity, nil
+	case "euclidean":
+		return EuclideanSimilarity, nil
+	default:
+		return nil, fmt.Errorf("core: unknown similarity measure %q (want cosine, paper or euclidean)", name)
+	}
+}

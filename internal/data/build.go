@@ -1,0 +1,24 @@
+package data
+
+import "fedcross/internal/tensor"
+
+// BuildVision generates the synthetic vision corpus and partitions it
+// across numClients clients with the given heterogeneity setting. It is
+// the one-call constructor the experiments use for the CIFAR substitutes.
+func BuildVision(cfg VisionConfig, numClients int, het Heterogeneity, partitionSeed int64) *Federated {
+	train, test := GenerateVision(cfg)
+	rng := tensor.NewRNG(partitionSeed)
+	name := "synth-vision10"
+	if cfg.Classes != 10 {
+		name = "synth-vision100"
+		if cfg.Classes != 100 {
+			name = "synth-vision"
+		}
+	}
+	return &Federated{
+		Name:    name + "/" + het.String(),
+		Clients: het.Partition(train, numClients, rng),
+		Test:    test,
+		Classes: cfg.Classes,
+	}
+}

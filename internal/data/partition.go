@@ -1,0 +1,133 @@
+package data
+
+import (
+	"fmt"
+
+	"fedcross/internal/tensor"
+)
+
+// DirichletPartition splits src across numClients shards using the
+// Dir(beta) label-skew scheme of Hsu et al. (the paper's heterogeneity
+// control): for every class, a Dirichlet draw decides what fraction of
+// that class each client receives. Smaller beta means more skew. Every
+// sample is assigned to exactly one client; clients that would end up
+// empty are topped up with one sample stolen from the largest shard so
+// every client can train.
+func DirichletPartition(src *Dataset, numClients int, beta float64, rng *tensor.RNG) []*Dataset {
+	if numClients <= 0 {
+		panic(fmt.Sprintf("data: DirichletPartition: numClients %d", numClients))
+	}
+	if beta <= 0 {
+		panic(fmt.Sprintf("data: DirichletPartition: beta %v must be positive", beta))
+	}
+	assign := make([][]int, numClients)
+
+	// Per-class index pools, shuffled.
+	byClass := make([][]int, src.Classes)
+	for i, y := range src.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	for _, pool := range byClass {
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	}
+
+	for _, pool := range byClass {
+		if len(pool) == 0 {
+			continue
+		}
+		p := rng.Dirichlet(beta, numClients)
+		// Convert proportions to cumulative slot boundaries.
+		cum := 0.0
+		start := 0
+		for ci := 0; ci < numClients; ci++ {
+			cum += p[ci]
+			end := int(cum*float64(len(pool)) + 0.5)
+			if ci == numClients-1 {
+				end = len(pool)
+			}
+			if end > len(pool) {
+				end = len(pool)
+			}
+			if end > start {
+				assign[ci] = append(assign[ci], pool[start:end]...)
+			}
+			start = end
+		}
+	}
+
+	topUpEmpty(assign, rng)
+
+	out := make([]*Dataset, numClients)
+	for ci := range assign {
+		out[ci] = src.Subset(assign[ci])
+	}
+	return out
+}
+
+// IIDPartition deals the (shuffled) samples round-robin so each client
+// receives an equally sized, class-balanced shard.
+func IIDPartition(src *Dataset, numClients int, rng *tensor.RNG) []*Dataset {
+	if numClients <= 0 {
+		panic(fmt.Sprintf("data: IIDPartition: numClients %d", numClients))
+	}
+	perm := rng.Perm(src.Len())
+	assign := make([][]int, numClients)
+	for i, idx := range perm {
+		ci := i % numClients
+		assign[ci] = append(assign[ci], idx)
+	}
+	topUpEmpty(assign, rng)
+	out := make([]*Dataset, numClients)
+	for ci := range assign {
+		out[ci] = src.Subset(assign[ci])
+	}
+	return out
+}
+
+// topUpEmpty moves one sample from the largest shard into any empty shard
+// so every client can run at least one training step. It preserves the
+// exactly-once assignment invariant.
+func topUpEmpty(assign [][]int, rng *tensor.RNG) {
+	for ci := range assign {
+		if len(assign[ci]) > 0 {
+			continue
+		}
+		largest := 0
+		for cj := range assign {
+			if len(assign[cj]) > len(assign[largest]) {
+				largest = cj
+			}
+		}
+		if len(assign[largest]) <= 1 {
+			continue // nothing to steal without emptying the donor
+		}
+		k := rng.Intn(len(assign[largest]))
+		assign[ci] = append(assign[ci], assign[largest][k])
+		assign[largest] = append(assign[largest][:k], assign[largest][k+1:]...)
+	}
+}
+
+// Heterogeneity names a client-data distribution setting, mirroring the
+// paper's Table II third column.
+type Heterogeneity struct {
+	// IID selects the uniform split; when false, Beta drives Dir(β).
+	IID bool
+	// Beta is the Dirichlet concentration for non-IID splits.
+	Beta float64
+}
+
+// String renders the setting the way the paper's tables do.
+func (h Heterogeneity) String() string {
+	if h.IID {
+		return "IID"
+	}
+	return fmt.Sprintf("beta=%.1f", h.Beta)
+}
+
+// Partition applies the setting to src.
+func (h Heterogeneity) Partition(src *Dataset, numClients int, rng *tensor.RNG) []*Dataset {
+	if h.IID {
+		return IIDPartition(src, numClients, rng)
+	}
+	return DirichletPartition(src, numClients, h.Beta, rng)
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fedcross/internal/core"
+	"fedcross/internal/data"
+	"fedcross/internal/fl"
+)
+
+// The ablations quantify two design choices DESIGN.md calls out beyond
+// the paper's own Table-III study:
+//
+//   - Shuffle dispatching (Algorithm 1 line 5): the paper argues the
+//     shuffle is what gives every middleware model an even chance of
+//     visiting every client. AblationShuffle runs FedCross with and
+//     without it.
+//   - Similarity measure: the paper's printed formula divides by the sum
+//     of norms rather than their product (DESIGN.md §5).
+//     AblationSimilarity runs the lowest-similarity strategy under
+//     cosine, the printed variant, and negated Euclidean distance.
+
+// AblationOptions sizes the ablation runs.
+type AblationOptions struct {
+	Profile Profile
+	Model   string
+	Beta    float64
+}
+
+// DefaultAblationOptions runs on the CNN under moderate skew.
+func DefaultAblationOptions() AblationOptions {
+	return AblationOptions{Profile: TinyProfile(), Model: "cnn", Beta: 0.5}
+}
+
+// AblationCell names one variant and its accuracy statistic.
+type AblationCell struct {
+	Variant string
+	Acc     Stat
+}
+
+// AblationResult holds one ablation's cells.
+type AblationResult struct {
+	Title string
+	Cells []AblationCell
+}
+
+// Get returns the named variant's statistic.
+func (r *AblationResult) Get(variant string) (Stat, bool) {
+	for _, c := range r.Cells {
+		if c.Variant == variant {
+			return c.Acc, true
+		}
+	}
+	return Stat{}, false
+}
+
+// Render writes the ablation table.
+func (r *AblationResult) Render(w io.Writer) error {
+	t := Table{Title: r.Title, Header: []string{"Variant", "Accuracy (%)"}}
+	for _, c := range r.Cells {
+		t.Add(c.Variant, c.Acc.String())
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// runVariants executes FedCross once per option set per seed and collects
+// final accuracies.
+func runVariants(opts AblationOptions, title string, variants map[string]core.Options, order []string) (*AblationResult, error) {
+	res := &AblationResult{Title: title}
+	het := data.Heterogeneity{Beta: opts.Beta}
+	for _, name := range order {
+		fcOpts := variants[name]
+		var finals []float64
+		for _, seed := range opts.Profile.Seeds {
+			env, err := opts.Profile.BuildEnv("vision10", opts.Model, het, seed)
+			if err != nil {
+				return nil, err
+			}
+			algo, err := core.New(fcOpts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ablation %s: %w", name, err)
+			}
+			hist, err := fl.Run(algo, env, opts.Profile.Config(seed))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ablation %s: %w", name, err)
+			}
+			finals = append(finals, hist.Final().TestAcc)
+		}
+		res.Cells = append(res.Cells, AblationCell{Variant: name, Acc: NewStat(finals)})
+	}
+	return res, nil
+}
+
+// RunAblationShuffle compares shuffle dispatching against the pinned
+// assignment.
+func RunAblationShuffle(opts AblationOptions) (*AblationResult, error) {
+	with := core.DefaultOptions()
+	without := core.DefaultOptions()
+	without.DisableShuffle = true
+	return runVariants(opts,
+		"Ablation — shuffle dispatching (Algorithm 1, line 5)",
+		map[string]core.Options{"shuffle": with, "no-shuffle": without},
+		[]string{"shuffle", "no-shuffle"})
+}
+
+// RunAblationSimilarity compares the three similarity measures under the
+// lowest-similarity strategy.
+func RunAblationSimilarity(opts AblationOptions) (*AblationResult, error) {
+	mk := func(sim core.SimilarityFunc) core.Options {
+		o := core.DefaultOptions()
+		o.Strategy = core.LowestSimilarity
+		o.Similarity = sim
+		return o
+	}
+	return runVariants(opts,
+		"Ablation — similarity measure behind lowest-similarity selection",
+		map[string]core.Options{
+			"cosine":    mk(core.CosineSimilarity),
+			"paper":     mk(core.PaperSimilarity),
+			"euclidean": mk(core.EuclideanSimilarity),
+		},
+		[]string{"cosine", "paper", "euclidean"})
+}
+
+// RunAblationPropellerCount sweeps the propeller fan-in of the PM
+// acceleration.
+func RunAblationPropellerCount(opts AblationOptions, counts []int) (*AblationResult, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("experiments: propeller ablation needs counts")
+	}
+	variants := map[string]core.Options{}
+	var order []string
+	for _, c := range counts {
+		o := core.DefaultOptions()
+		o.Accel = core.AccelPropeller
+		o.AccelRounds = opts.Profile.Rounds / 2
+		if o.AccelRounds < 1 {
+			o.AccelRounds = 1
+		}
+		o.PropellerCount = c
+		name := fmt.Sprintf("propellers=%d", c)
+		variants[name] = o
+		order = append(order, name)
+	}
+	return runVariants(opts, "Ablation — propeller-model fan-in (PM acceleration)", variants, order)
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAblationShuffle(t *testing.T) {
+	opts := DefaultAblationOptions()
+	opts.Profile = microProfile()
+	res, err := RunAblationShuffle(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	if _, ok := res.Get("shuffle"); !ok {
+		t.Fatal("missing shuffle variant")
+	}
+	if _, ok := res.Get("no-shuffle"); !ok {
+		t.Fatal("missing no-shuffle variant")
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "shuffle") {
+		t.Fatal("render missing variants")
+	}
+}
+
+func TestRunAblationSimilarity(t *testing.T) {
+	opts := DefaultAblationOptions()
+	opts.Profile = microProfile()
+	res, err := RunAblationSimilarity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"cosine", "paper", "euclidean"} {
+		if _, ok := res.Get(v); !ok {
+			t.Fatalf("missing variant %q", v)
+		}
+	}
+	if _, ok := res.Get("nope"); ok {
+		t.Fatal("phantom variant")
+	}
+}
+
+func TestRunAblationPropellerCount(t *testing.T) {
+	opts := DefaultAblationOptions()
+	opts.Profile = microProfile()
+	res, err := RunAblationPropellerCount(opts, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	if _, err := RunAblationPropellerCount(opts, nil); err == nil {
+		t.Fatal("empty counts must error")
+	}
+}

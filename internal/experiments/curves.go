@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fedcross/internal/data"
+	"fedcross/internal/fl"
+)
+
+// CurveSet is the shared result shape of the learning-curve figures
+// (Figs 5–9): one accuracy-vs-round curve per named variant.
+type CurveSet struct {
+	Title string
+	// Rounds are the evaluated round indices.
+	Rounds []int
+	// Acc maps variant name to accuracy samples aligned with Rounds.
+	Acc map[string][]float64
+	// Order preserves the variant ordering for rendering.
+	Order []string
+}
+
+// Best returns the best accuracy reached by the named curve.
+func (c *CurveSet) Best(name string) float64 {
+	best := 0.0
+	for _, v := range c.Acc[name] {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Final returns the last accuracy of the named curve.
+func (c *CurveSet) Final(name string) float64 {
+	vals := c.Acc[name]
+	if len(vals) == 0 {
+		return 0
+	}
+	return vals[len(vals)-1]
+}
+
+// Series converts the curve set to the renderer type.
+func (c *CurveSet) Series() *Series {
+	return &Series{Title: c.Title, XLabel: "round", Xs: c.Rounds, Curves: c.Acc, Order: c.Order}
+}
+
+// runCurve executes one algorithm run and folds its metric history into
+// the curve set (averaging across seeds happens by calling with each seed
+// and merging via mergeCurves).
+func runCurve(mk func() (fl.Algorithm, error), env *fl.Env, cfg fl.Config) ([]int, []float64, error) {
+	algo, err := mk()
+	if err != nil {
+		return nil, nil, err
+	}
+	hist, err := fl.Run(algo, env, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rounds := make([]int, len(hist.Metrics))
+	accs := make([]float64, len(hist.Metrics))
+	for i, m := range hist.Metrics {
+		rounds[i] = m.Round
+		accs[i] = m.TestAcc
+	}
+	return rounds, accs, nil
+}
+
+// CompareAlgorithms runs the named algorithms on identical environments
+// and returns their learning curves — the engine behind Figures 5, 6 and
+// 7.
+func CompareAlgorithms(p Profile, dataset, model string, het data.Heterogeneity, algoNames []string, title string) (*CurveSet, error) {
+	if len(algoNames) == 0 {
+		algoNames = AlgorithmNames()
+	}
+	seed := int64(1)
+	if len(p.Seeds) > 0 {
+		seed = p.Seeds[0]
+	}
+	cs := &CurveSet{Title: title, Acc: map[string][]float64{}, Order: algoNames}
+	for _, name := range algoNames {
+		name := name
+		env, err := p.BuildEnv(dataset, model, het, seed)
+		if err != nil {
+			return nil, err
+		}
+		rounds, accs, err := runCurve(func() (fl.Algorithm, error) { return NewAlgorithm(name) }, env, p.Config(seed))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: curves %s: %w", name, err)
+		}
+		if cs.Rounds == nil {
+			cs.Rounds = rounds
+		}
+		cs.Acc[name] = accs
+	}
+	return cs, nil
+}

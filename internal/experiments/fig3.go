@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fedcross/internal/data"
+	"fedcross/internal/models"
+)
+
+// Fig3Options configures the data-distribution visualisation (paper
+// Figure 3: class × client sample counts under Dir(β)).
+type Fig3Options struct {
+	Profile Profile
+	// Betas are the Dirichlet settings (paper: 0.1, 0.5, 1.0).
+	Betas []float64
+	// ShowClients caps how many clients are rendered (paper shows 10).
+	ShowClients int
+	// Seed drives generation and partitioning.
+	Seed int64
+}
+
+// DefaultFig3Options mirrors the paper's three panels.
+func DefaultFig3Options() Fig3Options {
+	return Fig3Options{Profile: TinyProfile(), Betas: []float64{0.1, 0.5, 1.0}, ShowClients: 10, Seed: 1}
+}
+
+// Fig3Panel is one β setting's distribution matrix.
+type Fig3Panel struct {
+	Beta float64
+	// Counts[class][client] restricted to the first ShowClients clients.
+	Counts [][]int
+	// SkewScore is the mean squared deviation of per-client class shares
+	// from uniform — a scalar so the β ordering is testable.
+	SkewScore float64
+}
+
+// Fig3Result holds all panels.
+type Fig3Result struct {
+	Panels []Fig3Panel
+}
+
+// RunFig3 partitions the vision corpus under each β and collects the
+// class × client matrices. Expected shape: smaller β ⇒ larger SkewScore.
+func RunFig3(opts Fig3Options) (*Fig3Result, error) {
+	if len(opts.Betas) == 0 {
+		return nil, fmt.Errorf("experiments: Fig3 needs at least one beta")
+	}
+	res := &Fig3Result{}
+	for _, beta := range opts.Betas {
+		cfg := data.VisionConfig{
+			Classes: 10, Features: models.VisionFeatures,
+			TrainPerClass: opts.Profile.VisionTrainPerClass, TestPerClass: 1,
+			ModesPerClass: 1, Sep: 1, Noise: 0.3, Seed: opts.Seed,
+		}
+		fed := data.BuildVision(cfg, opts.Profile.NumClients, data.Heterogeneity{Beta: beta}, opts.Seed+7)
+		full := fed.DistributionMatrix()
+		show := opts.ShowClients
+		if show <= 0 || show > len(full[0]) {
+			show = len(full[0])
+		}
+		counts := make([][]int, len(full))
+		for c := range full {
+			counts[c] = full[c][:show]
+		}
+		res.Panels = append(res.Panels, Fig3Panel{Beta: beta, Counts: counts, SkewScore: skewScore(fed)})
+	}
+	return res, nil
+}
+
+// skewScore averages the squared deviation of each client's class
+// distribution from uniform.
+func skewScore(fed *data.Federated) float64 {
+	uniform := 1.0 / float64(fed.Classes)
+	total := 0.0
+	n := 0
+	for _, shard := range fed.Clients {
+		if shard.Len() == 0 {
+			continue
+		}
+		counts := shard.ClassCounts()
+		for _, c := range counts {
+			d := float64(c)/float64(shard.Len()) - uniform
+			total += d * d
+		}
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// Render writes each panel as a heat map with its skew score.
+func (r *Fig3Result) Render(w io.Writer) error {
+	for _, p := range r.Panels {
+		hm := Heatmap{
+			Title:    fmt.Sprintf("Figure 3 — client class distribution, Dir(beta=%.1f), skew=%.4f", p.Beta, p.SkewScore),
+			RowLabel: "class",
+			Counts:   p.Counts,
+		}
+		if _, err := hm.WriteTo(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fedcross/internal/data"
+	"fedcross/internal/fl"
+	"fedcross/internal/landscape"
+)
+
+// Fig4Options configures the loss-landscape comparison (paper Figure 4 /
+// RQ1: FedCross global models land in flatter valleys than FedAvg's).
+type Fig4Options struct {
+	Profile Profile
+	// Model is the architecture (paper: ResNet-20 → resnet here).
+	Model string
+	// Hets are the data settings (paper: β = 0.1 and IID).
+	Hets []data.Heterogeneity
+	// Scan configures the 2-D landscape grid.
+	Scan landscape.Options
+	// SharpnessRadius / SharpnessDirs configure the scalar flatness metric.
+	SharpnessRadius float64
+	SharpnessDirs   int
+}
+
+// DefaultFig4Options mirrors the paper's two panels at tiny scale.
+func DefaultFig4Options() Fig4Options {
+	scan := landscape.DefaultOptions()
+	scan.Resolution = 5
+	return Fig4Options{
+		Profile:         TinyProfile(),
+		Model:           "resnet",
+		Hets:            []data.Heterogeneity{{Beta: 0.1}, {IID: true}},
+		Scan:            scan,
+		SharpnessRadius: 0.3, SharpnessDirs: 3,
+	}
+}
+
+// Fig4Panel compares FedAvg and FedCross landscapes under one setting.
+type Fig4Panel struct {
+	Het string
+	// FedAvgGrid / FedCrossGrid are the 2-D loss surfaces.
+	FedAvgGrid, FedCrossGrid *landscape.Grid
+	// FedAvgSharpness / FedCrossSharpness are the scalar flatness
+	// metrics; the paper's claim is FedCross < FedAvg.
+	FedAvgSharpness, FedCrossSharpness float64
+	// FedAvgAcc / FedCrossAcc are the trained models' test accuracies.
+	FedAvgAcc, FedCrossAcc float64
+}
+
+// Fig4Result holds all panels.
+type Fig4Result struct {
+	Panels []Fig4Panel
+}
+
+// RunFig4 trains FedAvg and FedCross under each setting, then scans the
+// loss landscape around both global models and computes sharpness.
+func RunFig4(opts Fig4Options) (*Fig4Result, error) {
+	if len(opts.Hets) == 0 {
+		return nil, fmt.Errorf("experiments: Fig4 needs at least one heterogeneity setting")
+	}
+	seed := int64(1)
+	if len(opts.Profile.Seeds) > 0 {
+		seed = opts.Profile.Seeds[0]
+	}
+	res := &Fig4Result{}
+	for _, het := range opts.Hets {
+		panel := Fig4Panel{Het: het.String()}
+		for _, which := range []string{"fedavg", "fedcross"} {
+			env, err := opts.Profile.BuildEnv("vision10", opts.Model, het, seed)
+			if err != nil {
+				return nil, err
+			}
+			algo, err := NewAlgorithm(which)
+			if err != nil {
+				return nil, err
+			}
+			hist, err := fl.Run(algo, env, opts.Profile.Config(seed))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: Fig4 %s %s: %w", which, het, err)
+			}
+			vec := algo.Global()
+			grid, err := landscape.Scan2D(env.Model, vec, env.Fed.Test, opts.Scan)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: Fig4 scan %s: %w", which, err)
+			}
+			sharp, err := landscape.Sharpness(env.Model, vec, env.Fed.Test, opts.SharpnessRadius, opts.SharpnessDirs, opts.Scan.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: Fig4 sharpness %s: %w", which, err)
+			}
+			if which == "fedavg" {
+				panel.FedAvgGrid, panel.FedAvgSharpness, panel.FedAvgAcc = grid, sharp, hist.Final().TestAcc
+			} else {
+				panel.FedCrossGrid, panel.FedCrossSharpness, panel.FedCrossAcc = grid, sharp, hist.Final().TestAcc
+			}
+		}
+		res.Panels = append(res.Panels, panel)
+	}
+	return res, nil
+}
+
+// Render writes the sharpness comparison and a coarse contour of each
+// grid.
+func (r *Fig4Result) Render(w io.Writer) error {
+	t := Table{
+		Title:  "Figure 4 — loss-landscape flatness (sharpness: lower = flatter)",
+		Header: []string{"Setting", "FedAvg sharpness", "FedCross sharpness", "Flatter", "FedAvg acc", "FedCross acc"},
+	}
+	for _, p := range r.Panels {
+		flatter := "fedcross"
+		if p.FedAvgSharpness < p.FedCrossSharpness {
+			flatter = "fedavg"
+		}
+		t.Add(p.Het,
+			fmt.Sprintf("%.4f", p.FedAvgSharpness),
+			fmt.Sprintf("%.4f", p.FedCrossSharpness),
+			flatter,
+			fmt.Sprintf("%.4f", p.FedAvgAcc),
+			fmt.Sprintf("%.4f", p.FedCrossAcc))
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	for _, p := range r.Panels {
+		fmt.Fprintf(w, "\n%s: FedAvg grid centre=%.4f max=%.4f | FedCross grid centre=%.4f max=%.4f\n",
+			p.Het, p.FedAvgGrid.CenterLoss(), p.FedAvgGrid.MaxLoss(),
+			p.FedCrossGrid.CenterLoss(), p.FedCrossGrid.MaxLoss())
+	}
+	return nil
+}

@@ -1,0 +1,435 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fedcross/internal/core"
+	"fedcross/internal/data"
+	"fedcross/internal/fl"
+)
+
+// --- Figure 5: learning curves of all methods -----------------------------
+
+// Fig5Options configures the learning-curve comparison (paper Figure 5:
+// six methods × {CNN, ResNet-20, VGG-16} × four heterogeneity settings on
+// CIFAR-10).
+type Fig5Options struct {
+	Profile Profile
+	Models  []string
+	Hets    []data.Heterogeneity
+}
+
+// DefaultFig5Options runs the CNN panel with one non-IID and the IID
+// setting.
+func DefaultFig5Options() Fig5Options {
+	return Fig5Options{
+		Profile: TinyProfile(),
+		Models:  []string{"cnn"},
+		Hets:    []data.Heterogeneity{{Beta: 0.5}, {IID: true}},
+	}
+}
+
+// Fig5Result is one curve set per model × heterogeneity panel.
+type Fig5Result struct {
+	Panels []*CurveSet
+}
+
+// RunFig5 produces the learning-curve panels.
+func RunFig5(opts Fig5Options) (*Fig5Result, error) {
+	res := &Fig5Result{}
+	for _, model := range opts.Models {
+		for _, het := range opts.Hets {
+			title := fmt.Sprintf("Figure 5 — %s on vision10, %s", model, het)
+			cs, err := CompareAlgorithms(opts.Profile, "vision10", model, het, nil, title)
+			if err != nil {
+				return nil, err
+			}
+			res.Panels = append(res.Panels, cs)
+		}
+	}
+	return res, nil
+}
+
+// Render writes every panel.
+func (r *Fig5Result) Render(w io.Writer) error {
+	for _, p := range r.Panels {
+		if _, err := p.Series().WriteTo(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// --- Figure 6: number of activated clients K ------------------------------
+
+// Fig6Options configures the activated-clients sweep (paper Figure 6:
+// K ∈ {5, 10, 20, 50, 100} on CIFAR-10, β = 0.1, ResNet-20).
+type Fig6Options struct {
+	Profile Profile
+	Ks      []int
+	Model   string
+	Beta    float64
+	// Algorithms to compare per K (default: fedavg + fedcross to keep the
+	// sweep affordable; the paper shows all six).
+	Algorithms []string
+}
+
+// DefaultFig6Options runs a small K sweep.
+func DefaultFig6Options() Fig6Options {
+	return Fig6Options{
+		Profile:    TinyProfile(),
+		Ks:         []int{2, 4, 8},
+		Model:      "cnn",
+		Beta:       0.1,
+		Algorithms: []string{"fedavg", "fedcross"},
+	}
+}
+
+// Fig6Cell is the outcome of one K setting.
+type Fig6Cell struct {
+	K int
+	// Best maps algorithm to its best evaluated accuracy.
+	Best map[string]float64
+}
+
+// Fig6Result holds the sweep.
+type Fig6Result struct {
+	Cells []Fig6Cell
+}
+
+// RunFig6 sweeps K. Expected shape: accuracy grows with K up to ~20 then
+// saturates; FedCross leads at every K.
+func RunFig6(opts Fig6Options) (*Fig6Result, error) {
+	if len(opts.Ks) == 0 {
+		return nil, fmt.Errorf("experiments: Fig6 needs at least one K")
+	}
+	res := &Fig6Result{}
+	for _, k := range opts.Ks {
+		p := opts.Profile
+		p.ClientsPerRound = k
+		cs, err := CompareAlgorithms(p, "vision10", opts.Model, data.Heterogeneity{Beta: opts.Beta}, opts.Algorithms, "")
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Fig6 K=%d: %w", k, err)
+		}
+		cell := Fig6Cell{K: k, Best: map[string]float64{}}
+		for _, name := range opts.Algorithms {
+			cell.Best[name] = cs.Best(name)
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+// Render writes the K sweep table.
+func (r *Fig6Result) Render(w io.Writer) error {
+	if len(r.Cells) == 0 {
+		return nil
+	}
+	var names []string
+	for _, n := range AlgorithmNames() {
+		if _, ok := r.Cells[0].Best[n]; ok {
+			names = append(names, n)
+		}
+	}
+	t := Table{Title: "Figure 6 — best accuracy vs activated clients K", Header: append([]string{"K"}, names...)}
+	for _, c := range r.Cells {
+		row := []string{fmt.Sprintf("%d", c.K)}
+		for _, n := range names {
+			row = append(row, fmt.Sprintf("%.4f", c.Best[n]))
+		}
+		t.Add(row...)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// --- Figure 7: total number of clients N ----------------------------------
+
+// Fig7Options configures the total-clients sweep (paper Figure 7:
+// N ∈ {50, 100, 200, 500, 1000} with 10% participation, β = 0.5,
+// ResNet-20; the total sample budget is fixed, so more clients means less
+// data each).
+type Fig7Options struct {
+	Profile Profile
+	Ns      []int
+	Model   string
+	Beta    float64
+	// TotalSamples fixes the corpus size across N (paper behaviour).
+	TotalSamples int
+	Algorithms   []string
+}
+
+// DefaultFig7Options runs a small N sweep.
+func DefaultFig7Options() Fig7Options {
+	return Fig7Options{
+		Profile:      TinyProfile(),
+		Ns:           []int{10, 20, 40},
+		Model:        "cnn",
+		Beta:         0.5,
+		TotalSamples: 300,
+		Algorithms:   []string{"fedavg", "fedcross"},
+	}
+}
+
+// Fig7Cell is the outcome of one N setting.
+type Fig7Cell struct {
+	N int
+	// Best maps algorithm to best accuracy; RoundsTo40 maps algorithm to
+	// the first round reaching 40% accuracy (-1 if never) — a
+	// convergence-speed proxy.
+	Best       map[string]float64
+	RoundsTo40 map[string]int
+}
+
+// Fig7Result holds the sweep.
+type Fig7Result struct {
+	Cells []Fig7Cell
+}
+
+// RunFig7 sweeps N with 10% participation and a fixed total sample
+// budget. Expected shape: larger N needs more rounds to converge.
+func RunFig7(opts Fig7Options) (*Fig7Result, error) {
+	if len(opts.Ns) == 0 {
+		return nil, fmt.Errorf("experiments: Fig7 needs at least one N")
+	}
+	res := &Fig7Result{}
+	for _, n := range opts.Ns {
+		p := opts.Profile
+		p.NumClients = n
+		p.ClientsPerRound = maxInt(2, n/10)
+		p.VisionTrainPerClass = maxInt(2, opts.TotalSamples/10)
+		seed := int64(1)
+		if len(p.Seeds) > 0 {
+			seed = p.Seeds[0]
+		}
+		cell := Fig7Cell{N: n, Best: map[string]float64{}, RoundsTo40: map[string]int{}}
+		for _, name := range opts.Algorithms {
+			name := name
+			env, err := p.BuildEnv("vision10", opts.Model, data.Heterogeneity{Beta: opts.Beta}, seed)
+			if err != nil {
+				return nil, err
+			}
+			algo, err := NewAlgorithm(name)
+			if err != nil {
+				return nil, err
+			}
+			hist, err := fl.Run(algo, env, p.Config(seed))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: Fig7 N=%d %s: %w", n, name, err)
+			}
+			cell.Best[name] = hist.BestAcc()
+			cell.RoundsTo40[name] = hist.RoundsToAcc(0.4)
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+// Render writes the N sweep table.
+func (r *Fig7Result) Render(w io.Writer) error {
+	if len(r.Cells) == 0 {
+		return nil
+	}
+	var names []string
+	for _, n := range AlgorithmNames() {
+		if _, ok := r.Cells[0].Best[n]; ok {
+			names = append(names, n)
+		}
+	}
+	header := []string{"N", "K"}
+	for _, n := range names {
+		header = append(header, n+" best", n+" r@40%")
+	}
+	t := Table{Title: "Figure 7 — accuracy vs total clients N (10% participation, fixed data budget)", Header: header}
+	for _, c := range r.Cells {
+		row := []string{fmt.Sprintf("%d", c.N), fmt.Sprintf("%d", maxInt(2, c.N/10))}
+		for _, n := range names {
+			row = append(row, fmt.Sprintf("%.4f", c.Best[n]), fmt.Sprintf("%d", c.RoundsTo40[n]))
+		}
+		t.Add(row...)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// --- Figure 8: learning curves per alpha ----------------------------------
+
+// Fig8Options configures the α learning-curve study (paper Figure 8: CNN,
+// β = 1.0, in-order and lowest-similarity panels, α ∈ Table III's set,
+// plus the FedAvg reference).
+type Fig8Options struct {
+	Profile    Profile
+	Alphas     []float64
+	Strategies []core.Strategy
+	Beta       float64
+	Model      string
+}
+
+// DefaultFig8Options runs a reduced α set on both recommended strategies.
+func DefaultFig8Options() Fig8Options {
+	return Fig8Options{
+		Profile:    TinyProfile(),
+		Alphas:     []float64{0.5, 0.99},
+		Strategies: []core.Strategy{core.InOrder, core.LowestSimilarity},
+		Beta:       1.0,
+		Model:      "cnn",
+	}
+}
+
+// Fig8Result has one curve set per strategy panel; curves are keyed
+// "fedavg" and "alpha=<v>".
+type Fig8Result struct {
+	Panels []*CurveSet
+}
+
+// RunFig8 produces the α-sweep learning curves.
+func RunFig8(opts Fig8Options) (*Fig8Result, error) {
+	if len(opts.Alphas) == 0 || len(opts.Strategies) == 0 {
+		return nil, fmt.Errorf("experiments: Fig8 needs alphas and strategies")
+	}
+	seed := int64(1)
+	if len(opts.Profile.Seeds) > 0 {
+		seed = opts.Profile.Seeds[0]
+	}
+	het := data.Heterogeneity{Beta: opts.Beta}
+	res := &Fig8Result{}
+	for _, strat := range opts.Strategies {
+		cs := &CurveSet{
+			Title: fmt.Sprintf("Figure 8 — alpha sweep, %s strategy", strat),
+			Acc:   map[string][]float64{},
+		}
+		// FedAvg reference curve.
+		env, err := opts.Profile.BuildEnv("vision10", opts.Model, het, seed)
+		if err != nil {
+			return nil, err
+		}
+		rounds, accs, err := runCurve(func() (fl.Algorithm, error) { return NewAlgorithm("fedavg") }, env, opts.Profile.Config(seed))
+		if err != nil {
+			return nil, err
+		}
+		cs.Rounds = rounds
+		cs.Acc["fedavg"] = accs
+		cs.Order = []string{"fedavg"}
+
+		for _, alpha := range opts.Alphas {
+			alpha, strat := alpha, strat
+			env, err := opts.Profile.BuildEnv("vision10", opts.Model, het, seed)
+			if err != nil {
+				return nil, err
+			}
+			_, accs, err := runCurve(func() (fl.Algorithm, error) {
+				o := core.DefaultOptions()
+				o.Alpha = alpha
+				o.Strategy = strat
+				return core.New(o)
+			}, env, opts.Profile.Config(seed))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: Fig8 alpha=%v: %w", alpha, err)
+			}
+			name := fmt.Sprintf("alpha=%.3g", alpha)
+			cs.Acc[name] = accs
+			cs.Order = append(cs.Order, name)
+		}
+		res.Panels = append(res.Panels, cs)
+	}
+	return res, nil
+}
+
+// Render writes every panel.
+func (r *Fig8Result) Render(w io.Writer) error {
+	for _, p := range r.Panels {
+		if _, err := p.Series().WriteTo(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// --- Figure 9: acceleration methods ---------------------------------------
+
+// Fig9Options configures the training-acceleration comparison (paper
+// Figure 9: VGG-16 on CIFAR-10, β = 0.1 and IID; variants vanilla, PM,
+// DA, PM-DA with a 100-round acceleration window).
+type Fig9Options struct {
+	Profile Profile
+	Model   string
+	Hets    []data.Heterogeneity
+	// AccelRounds is the acceleration window.
+	AccelRounds int
+	// PropellerCount is the PM fan-in.
+	PropellerCount int
+}
+
+// DefaultFig9Options runs all four variants at tiny scale.
+func DefaultFig9Options() Fig9Options {
+	return Fig9Options{
+		Profile:        TinyProfile(),
+		Model:          "cnn",
+		Hets:           []data.Heterogeneity{{Beta: 0.1}, {IID: true}},
+		AccelRounds:    4,
+		PropellerCount: 2,
+	}
+}
+
+// Fig9Result has one curve set per heterogeneity panel with curves
+// "vanilla", "pm", "da", "pm-da".
+type Fig9Result struct {
+	Panels []*CurveSet
+}
+
+// RunFig9 compares the acceleration variants.
+func RunFig9(opts Fig9Options) (*Fig9Result, error) {
+	if len(opts.Hets) == 0 {
+		return nil, fmt.Errorf("experiments: Fig9 needs at least one heterogeneity setting")
+	}
+	seed := int64(1)
+	if len(opts.Profile.Seeds) > 0 {
+		seed = opts.Profile.Seeds[0]
+	}
+	variants := []core.AccelMode{core.AccelNone, core.AccelPropeller, core.AccelDynamicAlpha, core.AccelBoth}
+	res := &Fig9Result{}
+	for _, het := range opts.Hets {
+		cs := &CurveSet{
+			Title: fmt.Sprintf("Figure 9 — acceleration methods, %s on vision10, %s", opts.Model, het),
+			Acc:   map[string][]float64{},
+		}
+		for _, mode := range variants {
+			mode := mode
+			env, err := opts.Profile.BuildEnv("vision10", opts.Model, het, seed)
+			if err != nil {
+				return nil, err
+			}
+			rounds, accs, err := runCurve(func() (fl.Algorithm, error) {
+				o := core.DefaultOptions()
+				o.Accel = mode
+				o.AccelRounds = opts.AccelRounds
+				o.PropellerCount = opts.PropellerCount
+				return core.New(o)
+			}, env, opts.Profile.Config(seed))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: Fig9 %v: %w", mode, err)
+			}
+			if cs.Rounds == nil {
+				cs.Rounds = rounds
+			}
+			cs.Acc[mode.String()] = accs
+			cs.Order = append(cs.Order, mode.String())
+		}
+		res.Panels = append(res.Panels, cs)
+	}
+	return res, nil
+}
+
+// Render writes every panel.
+func (r *Fig9Result) Render(w io.Writer) error {
+	for _, p := range r.Panels {
+		if _, err := p.Series().WriteTo(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a fixed-width text table renderer shared by all harnesses.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the cell strings.
+	Rows [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteTo renders the table with aligned columns.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// Series is a set of named curves sampled at shared x positions — the
+// learning-curve figures.
+type Series struct {
+	// Title is printed above the series block.
+	Title string
+	// XLabel names the x axis (usually "round").
+	XLabel string
+	// Xs are the sample positions.
+	Xs []int
+	// Curves maps a name to y values aligned with Xs.
+	Curves map[string][]float64
+	// Order fixes the column order; unspecified names follow sorted.
+	Order []string
+}
+
+// WriteTo renders the series as aligned columns, one row per x.
+func (s *Series) WriteTo(w io.Writer) (int64, error) {
+	names := s.Order
+	if len(names) == 0 {
+		for name := range s.Curves {
+			names = append(names, name)
+		}
+	}
+	t := Table{Title: s.Title, Header: append([]string{s.XLabel}, names...)}
+	for i, x := range s.Xs {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, name := range names {
+			c := s.Curves[name]
+			if i < len(c) {
+				row = append(row, fmt.Sprintf("%.4f", c[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Add(row...)
+	}
+	return t.WriteTo(w)
+}
+
+// Stat is a mean ± population-std summary over repeated runs.
+type Stat struct {
+	Mean, Std float64
+	N         int
+}
+
+// NewStat summarises values.
+func NewStat(values []float64) Stat {
+	if len(values) == 0 {
+		return Stat{}
+	}
+	mean := 0.0
+	for _, v := range values {
+		mean += v
+	}
+	mean /= float64(len(values))
+	variance := 0.0
+	for _, v := range values {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= float64(len(values))
+	return Stat{Mean: mean, Std: math.Sqrt(variance), N: len(values)}
+}
+
+// String renders the paper's "54.78 ± 0.56" accuracy cell style (in
+// percent).
+func (s Stat) String() string {
+	return fmt.Sprintf("%.2f ± %.2f", 100*s.Mean, 100*s.Std)
+}
+
+// Heatmap renders an integer matrix (Fig 3's class × client counts) with
+// scaled glyphs, mirroring the paper's dot-size encoding.
+type Heatmap struct {
+	Title      string
+	RowLabel   string
+	Counts     [][]int
+	ColHeaders []string
+}
+
+// WriteTo renders the heat map.
+func (h *Heatmap) WriteTo(w io.Writer) (int64, error) {
+	maxV := 1
+	for _, row := range h.Counts {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	glyphs := []byte(" .:*#@")
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n", h.Title)
+	}
+	if len(h.ColHeaders) > 0 {
+		fmt.Fprintf(&b, "%8s %s\n", h.RowLabel, strings.Join(h.ColHeaders, " "))
+	}
+	for r, row := range h.Counts {
+		fmt.Fprintf(&b, "%8d ", r)
+		for _, v := range row {
+			g := glyphs[0]
+			if v > 0 {
+				idx := 1 + v*(len(glyphs)-2)/maxV
+				if idx >= len(glyphs) {
+					idx = len(glyphs) - 1
+				}
+				g = glyphs[idx]
+			}
+			b.WriteByte(g)
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}

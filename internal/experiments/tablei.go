@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// TableIRow is one row of the paper's Table I: method, taxonomy category
+// and per-round communication overhead.
+type TableIRow struct {
+	Algorithm string
+	Category  string
+	Profile   string // rendered comm profile for K clients
+	Overhead  string // Low / Medium / High
+	// ModelEquivalents is the per-round traffic in model-sized units.
+	ModelEquivalents float64
+}
+
+// TableIResult holds all rows.
+type TableIResult struct {
+	K    int
+	Rows []TableIRow
+}
+
+// RunTableI reproduces Table I analytically: it instantiates every
+// algorithm and reads its per-round communication profile for K activated
+// clients. The expected shape: FedCross matches FedAvg exactly (Low);
+// SCAFFOLD is High; FedGen is Medium.
+func RunTableI(k int) (*TableIResult, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("experiments: TableI needs K > 0, got %d", k)
+	}
+	res := &TableIResult{K: k}
+	for _, name := range AlgorithmNames() {
+		algo, err := NewAlgorithm(name)
+		if err != nil {
+			return nil, err
+		}
+		p := algo.RoundComm(k)
+		res.Rows = append(res.Rows, TableIRow{
+			Algorithm:        algo.Name(),
+			Category:         algo.Category(),
+			Profile:          p.String(),
+			Overhead:         p.OverheadClass(),
+			ModelEquivalents: p.TotalModelEquivalents(0.25),
+		})
+	}
+	return res, nil
+}
+
+// Render writes the table in the paper's layout.
+func (r *TableIResult) Render(w io.Writer) error {
+	t := Table{
+		Title:  fmt.Sprintf("Table I — method categories and per-round communication (K=%d)", r.K),
+		Header: []string{"Method", "Category", "Per-round traffic", "Overhead", "Model-equivalents"},
+	}
+	for _, row := range r.Rows {
+		t.Add(row.Algorithm, row.Category, row.Profile, row.Overhead,
+			fmt.Sprintf("%.1f", row.ModelEquivalents))
+	}
+	_, err := t.WriteTo(w)
+	return err
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fedcross/internal/data"
+	"fedcross/internal/fl"
+)
+
+// TableIIOptions selects the slice of the paper's Table II grid to run.
+// The full grid (3 vision models × 3 datasets × 4 heterogeneity settings
+// plus 2 LSTM rows, 6 algorithms, multiple seeds) is hours of CPU; tests
+// and benches run one- or two-cell slices.
+type TableIIOptions struct {
+	Profile Profile
+	// Models are vision architectures to evaluate ("cnn", "resnet", "vgg").
+	Models []string
+	// Datasets are dataset names from DatasetNames().
+	Datasets []string
+	// Heterogeneity settings applied to the vision datasets.
+	Hets []data.Heterogeneity
+	// Algorithms to compare (defaults to all six).
+	Algorithms []string
+}
+
+// DefaultTableIIOptions runs a tiny but representative slice: CNN on the
+// CIFAR-10 substitute across one non-IID and the IID setting, all six
+// algorithms.
+func DefaultTableIIOptions() TableIIOptions {
+	return TableIIOptions{
+		Profile:  TinyProfile(),
+		Models:   []string{"cnn"},
+		Datasets: []string{"vision10"},
+		Hets: []data.Heterogeneity{
+			{Beta: 0.5},
+			{IID: true},
+		},
+	}
+}
+
+// TableIICell is one dataset × model × heterogeneity row of Table II.
+type TableIICell struct {
+	Model, Dataset string
+	Het            string
+	// Acc maps algorithm name to its final-accuracy statistic.
+	Acc map[string]Stat
+	// Winner is the algorithm with the best mean accuracy.
+	Winner string
+}
+
+// TableIIResult holds all computed cells.
+type TableIIResult struct {
+	Cells []TableIICell
+}
+
+// RunTableII executes the selected slice of the accuracy-comparison grid.
+func RunTableII(opts TableIIOptions) (*TableIIResult, error) {
+	algos := opts.Algorithms
+	if len(algos) == 0 {
+		algos = AlgorithmNames()
+	}
+	if len(opts.Profile.Seeds) == 0 {
+		return nil, fmt.Errorf("experiments: TableII needs at least one seed")
+	}
+	res := &TableIIResult{}
+	for _, dataset := range opts.Datasets {
+		hets := opts.Hets
+		modelsToRun := opts.Models
+		if dataset == "femnist" {
+			hets = []data.Heterogeneity{{IID: true}} // natural split; het ignored
+		}
+		if dataset == "shakespeare" || dataset == "sent140" {
+			hets = []data.Heterogeneity{{IID: true}}
+			modelsToRun = []string{"lstm"} // fixed architecture
+		}
+		for _, model := range modelsToRun {
+			for _, het := range hets {
+				cell := TableIICell{Model: model, Dataset: dataset, Het: hetLabel(dataset, het), Acc: map[string]Stat{}}
+				for _, algoName := range algos {
+					var finals []float64
+					for _, seed := range opts.Profile.Seeds {
+						env, err := opts.Profile.BuildEnv(dataset, vmodel(dataset, model), het, seed)
+						if err != nil {
+							return nil, fmt.Errorf("experiments: TableII %s/%s: %w", dataset, model, err)
+						}
+						algo, err := NewAlgorithm(algoName)
+						if err != nil {
+							return nil, err
+						}
+						hist, err := fl.Run(algo, env, opts.Profile.Config(seed))
+						if err != nil {
+							return nil, fmt.Errorf("experiments: TableII %s on %s: %w", algoName, dataset, err)
+						}
+						finals = append(finals, hist.Final().TestAcc)
+					}
+					cell.Acc[algoName] = NewStat(finals)
+				}
+				cell.Winner = bestAlgo(cell.Acc)
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	return res, nil
+}
+
+// hetLabel renders the heterogeneity column like the paper's table
+// (text/FEMNIST rows use "-", being naturally non-IID).
+func hetLabel(dataset string, het data.Heterogeneity) string {
+	switch dataset {
+	case "femnist", "shakespeare", "sent140":
+		return "-"
+	default:
+		return het.String()
+	}
+}
+
+// vmodel maps the requested model to what BuildEnv expects (text datasets
+// fix their own architecture).
+func vmodel(dataset, model string) string {
+	if dataset == "shakespeare" || dataset == "sent140" {
+		return ""
+	}
+	if model == "lstm" {
+		return ""
+	}
+	return model
+}
+
+func bestAlgo(acc map[string]Stat) string {
+	best, bestV := "", -1.0
+	for _, name := range AlgorithmNames() {
+		if s, ok := acc[name]; ok && s.Mean > bestV {
+			best, bestV = name, s.Mean
+		}
+	}
+	return best
+}
+
+// FedCrossWins counts the cells whose winner is FedCross.
+func (r *TableIIResult) FedCrossWins() (wins, total int) {
+	for _, c := range r.Cells {
+		if _, ok := c.Acc["fedcross"]; !ok {
+			continue
+		}
+		total++
+		if c.Winner == "fedcross" {
+			wins++
+		}
+	}
+	return wins, total
+}
+
+// Render writes the table in the paper's layout: one row per
+// model × dataset × heterogeneity, one column per algorithm.
+func (r *TableIIResult) Render(w io.Writer) error {
+	if len(r.Cells) == 0 {
+		_, err := fmt.Fprintln(w, "Table II — no cells computed")
+		return err
+	}
+	var algos []string
+	for _, name := range AlgorithmNames() {
+		if _, ok := r.Cells[0].Acc[name]; ok {
+			algos = append(algos, name)
+		}
+	}
+	t := Table{
+		Title:  "Table II — test accuracy (%) comparison",
+		Header: append([]string{"Model", "Dataset", "Heterogeneity"}, append(algos, "winner")...),
+	}
+	for _, c := range r.Cells {
+		row := []string{c.Model, c.Dataset, c.Het}
+		for _, a := range algos {
+			row = append(row, c.Acc[a].String())
+		}
+		row = append(row, c.Winner)
+		t.Add(row...)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fedcross/internal/core"
+	"fedcross/internal/data"
+	"fedcross/internal/fl"
+)
+
+// TableIIIOptions configures the α × selection-strategy ablation (paper:
+// CNN on CIFAR-10, β = 1.0).
+type TableIIIOptions struct {
+	Profile Profile
+	// Alphas are the cross-aggregation weights to sweep. The paper uses
+	// {0.5, 0.8, 0.9, 0.95, 0.99, 0.999}.
+	Alphas []float64
+	// Strategies are the selection criteria to sweep (default: all three).
+	Strategies []core.Strategy
+	// Model is the vision architecture (paper: cnn).
+	Model string
+	// Beta is the Dirichlet heterogeneity (paper: 1.0).
+	Beta float64
+}
+
+// DefaultTableIIIOptions returns a tiny slice of the ablation grid.
+func DefaultTableIIIOptions() TableIIIOptions {
+	return TableIIIOptions{
+		Profile:    TinyProfile(),
+		Alphas:     []float64{0.5, 0.99},
+		Strategies: []core.Strategy{core.InOrder, core.HighestSimilarity, core.LowestSimilarity},
+		Model:      "cnn",
+		Beta:       1.0,
+	}
+}
+
+// PaperTableIIIOptions returns the full paper grid (expensive).
+func PaperTableIIIOptions() TableIIIOptions {
+	o := DefaultTableIIIOptions()
+	o.Profile = PaperProfile()
+	o.Alphas = []float64{0.5, 0.8, 0.9, 0.95, 0.99, 0.999}
+	return o
+}
+
+// TableIIICell is one α × strategy accuracy.
+type TableIIICell struct {
+	Alpha    float64
+	Strategy core.Strategy
+	Acc      Stat
+}
+
+// TableIIIResult holds the ablation grid.
+type TableIIIResult struct {
+	Cells []TableIIICell
+}
+
+// Get returns the statistic for (alpha, strategy), if computed.
+func (r *TableIIIResult) Get(alpha float64, s core.Strategy) (Stat, bool) {
+	for _, c := range r.Cells {
+		if c.Alpha == alpha && c.Strategy == s {
+			return c.Acc, true
+		}
+	}
+	return Stat{}, false
+}
+
+// RunTableIII executes the ablation. Note α = 0.999 falls inside the
+// paper's admissible interval [0.5, 1) and is expected to collapse — that
+// is the point of the ablation.
+func RunTableIII(opts TableIIIOptions) (*TableIIIResult, error) {
+	if len(opts.Alphas) == 0 || len(opts.Strategies) == 0 {
+		return nil, fmt.Errorf("experiments: TableIII needs at least one alpha and one strategy")
+	}
+	res := &TableIIIResult{}
+	het := data.Heterogeneity{Beta: opts.Beta}
+	for _, alpha := range opts.Alphas {
+		for _, strat := range opts.Strategies {
+			var finals []float64
+			for _, seed := range opts.Profile.Seeds {
+				env, err := opts.Profile.BuildEnv("vision10", opts.Model, het, seed)
+				if err != nil {
+					return nil, err
+				}
+				fcOpts := core.DefaultOptions()
+				fcOpts.Alpha = alpha
+				fcOpts.Strategy = strat
+				algo, err := core.New(fcOpts)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: TableIII alpha=%v: %w", alpha, err)
+				}
+				hist, err := fl.Run(algo, env, opts.Profile.Config(seed))
+				if err != nil {
+					return nil, fmt.Errorf("experiments: TableIII alpha=%v %v: %w", alpha, strat, err)
+				}
+				finals = append(finals, hist.Final().TestAcc)
+			}
+			res.Cells = append(res.Cells, TableIIICell{Alpha: alpha, Strategy: strat, Acc: NewStat(finals)})
+		}
+	}
+	return res, nil
+}
+
+// Render writes the α × strategy grid in the paper's layout.
+func (r *TableIIIResult) Render(w io.Writer) error {
+	var alphas []float64
+	var strategies []core.Strategy
+	seenA := map[float64]bool{}
+	seenS := map[core.Strategy]bool{}
+	for _, c := range r.Cells {
+		if !seenA[c.Alpha] {
+			seenA[c.Alpha] = true
+			alphas = append(alphas, c.Alpha)
+		}
+		if !seenS[c.Strategy] {
+			seenS[c.Strategy] = true
+			strategies = append(strategies, c.Strategy)
+		}
+	}
+	header := []string{"alpha"}
+	for _, s := range strategies {
+		header = append(header, s.String())
+	}
+	t := Table{Title: "Table III — test accuracy (%) by alpha and selection strategy", Header: header}
+	for _, a := range alphas {
+		row := []string{fmt.Sprintf("%.3g", a)}
+		for _, s := range strategies {
+			if st, ok := r.Get(a, s); ok {
+				row = append(row, st.String())
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Add(row...)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}

@@ -1,0 +1,86 @@
+// Package fl is the federated-learning simulation substrate: local SGD
+// training with algorithm hooks (proximal terms, gradient corrections),
+// client selection, round orchestration, evaluation, and communication
+// accounting. Algorithms (FedAvg, FedProx, SCAFFOLD, FedGen, CluSamp in
+// internal/baselines; FedCross in internal/core) plug into the Runner
+// through the Algorithm interface.
+package fl
+
+import (
+	"fmt"
+
+	"fedcross/internal/data"
+	"fedcross/internal/models"
+)
+
+// Config holds the round-level hyper-parameters shared by every
+// algorithm. The defaults mirror the paper's Section IV-A settings scaled
+// to CPU: B=50, E=5, SGD lr=0.01 momentum=0.5, 10% participation.
+type Config struct {
+	// Rounds is the number of FL communication rounds.
+	Rounds int
+	// ClientsPerRound is K, the number of clients activated per round.
+	ClientsPerRound int
+	// LocalEpochs is E, the local epochs per activation.
+	LocalEpochs int
+	// BatchSize is the local mini-batch size.
+	BatchSize int
+	// LR and Momentum configure the clients' SGD optimizer.
+	LR, Momentum float64
+	// EvalEvery evaluates the global model every n rounds (plus always at
+	// the final round); 0 evaluates only at the end.
+	EvalEvery int
+	// DropoutRate is the probability that an activated client fails to
+	// return its model this round (failure injection); 0 disables.
+	DropoutRate float64
+	// Seed drives all simulation randomness (selection, shuffles, local
+	// batching).
+	Seed int64
+}
+
+// DefaultConfig returns the paper-mirroring configuration at test scale.
+func DefaultConfig() Config {
+	return Config{
+		Rounds:          20,
+		ClientsPerRound: 10,
+		LocalEpochs:     5,
+		BatchSize:       50,
+		LR:              0.01,
+		Momentum:        0.5,
+		EvalEvery:       5,
+		Seed:            1,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Rounds <= 0:
+		return fmt.Errorf("fl: Rounds = %d, must be positive", c.Rounds)
+	case c.ClientsPerRound <= 0:
+		return fmt.Errorf("fl: ClientsPerRound = %d, must be positive", c.ClientsPerRound)
+	case c.LocalEpochs <= 0:
+		return fmt.Errorf("fl: LocalEpochs = %d, must be positive", c.LocalEpochs)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("fl: BatchSize = %d, must be positive", c.BatchSize)
+	case c.LR <= 0:
+		return fmt.Errorf("fl: LR = %v, must be positive", c.LR)
+	case c.Momentum < 0 || c.Momentum >= 1:
+		return fmt.Errorf("fl: Momentum = %v, must be in [0,1)", c.Momentum)
+	case c.DropoutRate < 0 || c.DropoutRate >= 1:
+		return fmt.Errorf("fl: DropoutRate = %v, must be in [0,1)", c.DropoutRate)
+	}
+	return nil
+}
+
+// Env bundles the federated dataset with the model architecture under
+// test.
+type Env struct {
+	// Fed is the client shards plus shared test set.
+	Fed *data.Federated
+	// Model constructs the architecture every participant trains.
+	Model models.Factory
+}
+
+// NumClients returns the total client population N.
+func (e *Env) NumClients() int { return e.Fed.NumClients() }

@@ -1,0 +1,154 @@
+package fl
+
+import (
+	"fmt"
+
+	"fedcross/internal/data"
+	"fedcross/internal/models"
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+// LocalSpec describes one client-side training job. The two optional
+// fields are the hooks the baseline algorithms need: Prox/ProxRef realise
+// FedProx's proximal term µ/2·‖w−w_g‖², and GradCorrection realises
+// SCAFFOLD's per-step drift correction (c − c_i), added to every gradient.
+type LocalSpec struct {
+	// Init is the parameter vector to start from (copied, not mutated).
+	Init nn.ParamVector
+	// Epochs, BatchSize, LR, Momentum configure the local SGD loop.
+	Epochs, BatchSize int
+	LR, Momentum      float64
+	// Prox is FedProx's µ; 0 disables the proximal term.
+	Prox float64
+	// ProxRef is the anchor for the proximal term (usually Init).
+	ProxRef nn.ParamVector
+	// GradCorrection, when non-nil, is added to the gradient at every
+	// step (flat, aligned with the parameter vector).
+	GradCorrection nn.ParamVector
+}
+
+// LocalResult reports what a client training job produced.
+type LocalResult struct {
+	// Params is the trained parameter vector.
+	Params nn.ParamVector
+	// Steps is the number of SGD steps taken (SCAFFOLD's K).
+	Steps int
+	// MeanLoss is the average training loss over all steps.
+	MeanLoss float64
+	// Samples is the client's shard size (FedAvg weighting).
+	Samples int
+}
+
+// TrainLocal runs one client's local training: it reconstructs the
+// architecture, loads spec.Init, and runs spec.Epochs epochs of mini-batch
+// SGD on shard. It returns the trained parameters; spec.Init is never
+// mutated.
+func TrainLocal(factory models.Factory, shard *data.Dataset, spec LocalSpec, rng *tensor.RNG) (LocalResult, error) {
+	if shard.Len() == 0 {
+		return LocalResult{}, fmt.Errorf("fl: TrainLocal: empty shard")
+	}
+	net := factory.New(rng)
+	if err := nn.LoadParams(net.Params(), spec.Init); err != nil {
+		return LocalResult{}, fmt.Errorf("fl: TrainLocal: %w", err)
+	}
+	if spec.Prox > 0 && len(spec.ProxRef) != len(spec.Init) {
+		return LocalResult{}, fmt.Errorf("fl: TrainLocal: prox ref length %d != init %d", len(spec.ProxRef), len(spec.Init))
+	}
+	if spec.GradCorrection != nil && len(spec.GradCorrection) != len(spec.Init) {
+		return LocalResult{}, fmt.Errorf("fl: TrainLocal: correction length %d != init %d", len(spec.GradCorrection), len(spec.Init))
+	}
+
+	params := net.Params()
+	grads := net.Grads()
+	opt := nn.NewSGD(spec.LR, spec.Momentum)
+	steps := 0
+	lossSum := 0.0
+
+	for epoch := 0; epoch < spec.Epochs; epoch++ {
+		shard.Batches(rng, spec.BatchSize, func(x *tensor.Tensor, y []int) {
+			net.ZeroGrads()
+			logits := net.Forward(x, true)
+			loss, dlogits := nn.SoftmaxCrossEntropy(logits, y)
+			net.Backward(dlogits)
+			applyHooks(params, grads, spec)
+			opt.Step(params, grads)
+			steps++
+			lossSum += loss
+		})
+	}
+
+	res := LocalResult{
+		Params:  nn.FlattenParams(params),
+		Steps:   steps,
+		Samples: shard.Len(),
+	}
+	if steps > 0 {
+		res.MeanLoss = lossSum / float64(steps)
+	}
+	return res, nil
+}
+
+// applyHooks adds the proximal and correction terms to the gradient
+// tensors, walking them with a running flat offset so the flat reference
+// vectors stay aligned with the tensor layout.
+func applyHooks(params, grads []*tensor.Tensor, spec LocalSpec) {
+	if spec.Prox == 0 && spec.GradCorrection == nil {
+		return
+	}
+	off := 0
+	for i, p := range params {
+		g := grads[i]
+		n := p.Len()
+		if spec.Prox > 0 {
+			ref := spec.ProxRef[off : off+n]
+			for j := 0; j < n; j++ {
+				g.Data[j] += spec.Prox * (p.Data[j] - ref[j])
+			}
+		}
+		if spec.GradCorrection != nil {
+			corr := spec.GradCorrection[off : off+n]
+			for j := 0; j < n; j++ {
+				g.Data[j] += corr[j]
+			}
+		}
+		off += n
+	}
+}
+
+// Evaluate computes test accuracy and mean loss of the parameter vector on
+// ds, batching for memory locality.
+func Evaluate(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, batchSize int) (acc, loss float64, err error) {
+	if ds.Len() == 0 {
+		return 0, 0, fmt.Errorf("fl: Evaluate: empty dataset")
+	}
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	net := factory.New(tensor.NewRNG(0))
+	if err := nn.LoadParams(net.Params(), vec); err != nil {
+		return 0, 0, fmt.Errorf("fl: Evaluate: %w", err)
+	}
+	correctWeighted := 0.0
+	lossWeighted := 0.0
+	n := ds.Len()
+	idx := make([]int, 0, batchSize)
+	for start := 0; start < n; start += batchSize {
+		end := start + batchSize
+		if end > n {
+			end = n
+		}
+		idx = idx[:0]
+		for i := start; i < end; i++ {
+			idx = append(idx, i)
+		}
+		x, y := ds.Batch(idx)
+		logits := net.Forward(x, false)
+		l, _ := nn.SoftmaxCrossEntropy(logits, y)
+		a := nn.Accuracy(logits, y)
+		w := float64(len(y))
+		correctWeighted += a * w
+		lossWeighted += l * w
+	}
+	return correctWeighted / float64(n), lossWeighted / float64(n), nil
+}

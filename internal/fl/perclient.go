@@ -1,0 +1,91 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fedcross/internal/nn"
+)
+
+// ClientEval is one client's local-data accuracy under a given model.
+type ClientEval struct {
+	Client  int
+	Acc     float64
+	Samples int
+}
+
+// PerClientReport summarises how evenly a global model serves the
+// federation — the fairness lens on the paper's claim that FedCross
+// produces "a unified global model to benefit all the clients".
+type PerClientReport struct {
+	Evals []ClientEval
+	// Mean is the sample-weighted mean accuracy.
+	Mean float64
+	// Worst is the lowest client accuracy (the client the model serves
+	// worst).
+	Worst float64
+	// Std is the unweighted standard deviation across clients; lower
+	// means the model generalises more evenly.
+	Std float64
+}
+
+// EvaluatePerClient measures the model on every client's local data.
+func EvaluatePerClient(env *Env, vec nn.ParamVector, batchSize int) (*PerClientReport, error) {
+	if env.NumClients() == 0 {
+		return nil, fmt.Errorf("fl: EvaluatePerClient: no clients")
+	}
+	rep := &PerClientReport{Worst: math.Inf(1)}
+	totalSamples := 0
+	var accs []float64
+	for ci, shard := range env.Fed.Clients {
+		if shard.Len() == 0 {
+			continue
+		}
+		acc, _, err := Evaluate(env.Model, vec, shard, batchSize)
+		if err != nil {
+			return nil, fmt.Errorf("fl: EvaluatePerClient client %d: %w", ci, err)
+		}
+		rep.Evals = append(rep.Evals, ClientEval{Client: ci, Acc: acc, Samples: shard.Len()})
+		rep.Mean += acc * float64(shard.Len())
+		totalSamples += shard.Len()
+		if acc < rep.Worst {
+			rep.Worst = acc
+		}
+		accs = append(accs, acc)
+	}
+	if totalSamples == 0 {
+		return nil, fmt.Errorf("fl: EvaluatePerClient: all shards empty")
+	}
+	rep.Mean /= float64(totalSamples)
+	mean := 0.0
+	for _, a := range accs {
+		mean += a
+	}
+	mean /= float64(len(accs))
+	variance := 0.0
+	for _, a := range accs {
+		d := a - mean
+		variance += d * d
+	}
+	rep.Std = math.Sqrt(variance / float64(len(accs)))
+	sort.Slice(rep.Evals, func(i, j int) bool { return rep.Evals[i].Acc < rep.Evals[j].Acc })
+	return rep, nil
+}
+
+// BottomDecileMean returns the mean accuracy of the worst 10% of clients
+// (at least one), a standard fairness summary.
+func (r *PerClientReport) BottomDecileMean() float64 {
+	if len(r.Evals) == 0 {
+		return 0
+	}
+	n := len(r.Evals) / 10
+	if n == 0 {
+		n = 1
+	}
+	s := 0.0
+	for _, e := range r.Evals[:n] { // Evals sorted ascending by Acc
+		s += e.Acc
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,84 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"fedcross/internal/data"
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+func TestEvaluatePerClient(t *testing.T) {
+	env := testEnv(31, 5)
+	vec := nn.FlattenParams(env.Model.New(tensor.NewRNG(1)).Params())
+	rep, err := EvaluatePerClient(env, vec, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Evals) != 5 {
+		t.Fatalf("evals = %d", len(rep.Evals))
+	}
+	// Sorted ascending by accuracy.
+	for i := 1; i < len(rep.Evals); i++ {
+		if rep.Evals[i].Acc < rep.Evals[i-1].Acc {
+			t.Fatal("evals not sorted")
+		}
+	}
+	if rep.Worst != rep.Evals[0].Acc {
+		t.Fatalf("worst %v != first sorted %v", rep.Worst, rep.Evals[0].Acc)
+	}
+	if rep.Mean < 0 || rep.Mean > 1 || rep.Std < 0 {
+		t.Fatalf("summary out of range: %+v", rep)
+	}
+	if rep.BottomDecileMean() != rep.Evals[0].Acc {
+		t.Fatalf("bottom decile of 5 clients should be the single worst")
+	}
+}
+
+func TestEvaluatePerClientWeightedMean(t *testing.T) {
+	// Mean must be sample-weighted: construct two clients with very
+	// different sizes and check the identity directly.
+	env := testEnv(32, 2)
+	vec := nn.FlattenParams(env.Model.New(tensor.NewRNG(2)).Params())
+	rep, err := EvaluatePerClient(env, vec, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, den := 0.0, 0
+	for _, e := range rep.Evals {
+		num += e.Acc * float64(e.Samples)
+		den += e.Samples
+	}
+	if math.Abs(rep.Mean-num/float64(den)) > 1e-12 {
+		t.Fatalf("mean %v, want %v", rep.Mean, num/float64(den))
+	}
+}
+
+func TestEvaluatePerClientTrainedBeatsRandom(t *testing.T) {
+	env := testEnv(33, 4)
+	cfg := Config{Rounds: 5, ClientsPerRound: 4, LocalEpochs: 2, BatchSize: 16, LR: 0.05, Momentum: 0.5, Seed: 1}
+	algo := &stubAlgo{}
+	if _, err := Run(algo, env, cfg); err != nil {
+		t.Fatal(err)
+	}
+	random := nn.FlattenParams(env.Model.New(tensor.NewRNG(99)).Params())
+	repR, err := EvaluatePerClient(env, random, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repT, err := EvaluatePerClient(env, algo.Global(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repT.Mean <= repR.Mean {
+		t.Fatalf("trained per-client mean %v should beat random %v", repT.Mean, repR.Mean)
+	}
+}
+
+func TestEvaluatePerClientErrors(t *testing.T) {
+	env := &Env{Fed: &data.Federated{}, Model: testEnv(1, 2).Model}
+	if _, err := EvaluatePerClient(env, nil, 32); err == nil {
+		t.Fatal("empty federation must error")
+	}
+}

@@ -1,0 +1,81 @@
+package fl
+
+import (
+	"testing"
+
+	"fedcross/internal/tensor"
+)
+
+func TestPrivacyOptionsValidate(t *testing.T) {
+	if err := (PrivacyOptions{ClipNorm: 1, NoiseStd: 0.1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (PrivacyOptions{ClipNorm: -1}).Validate(); err == nil {
+		t.Fatal("negative clip must fail")
+	}
+	if err := (PrivacyOptions{NoiseStd: -1}).Validate(); err == nil {
+		t.Fatal("negative noise must fail")
+	}
+	if _, err := WithPrivacy(&stubAlgo{}, PrivacyOptions{NoiseStd: -1}); err == nil {
+		t.Fatal("WithPrivacy must validate")
+	}
+}
+
+func TestPrivacyWrapperNamesAndNoise(t *testing.T) {
+	env := testEnv(21, 4)
+	inner := &stubAlgo{}
+	wrapped, err := WithPrivacy(inner, PrivacyOptions{NoiseStd: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.Name() != "stub+dp" {
+		t.Fatalf("name %q", wrapped.Name())
+	}
+	cfg := Config{Rounds: 2, ClientsPerRound: 2, LocalEpochs: 1, BatchSize: 16, LR: 0.05, Seed: 1}
+	if _, err := Run(wrapped, env, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// The released model differs from the raw one (noise applied) but not
+	// wildly (std 0.05).
+	raw := inner.Global()
+	released := wrapped.Global()
+	d := raw.DistanceSq(released)
+	if d == 0 {
+		t.Fatal("release should be perturbed")
+	}
+	perCoord := d / float64(len(raw))
+	if perCoord > 0.05*0.05*10 {
+		t.Fatalf("noise too large: mean squared %v", perCoord)
+	}
+	// Training state inside the wrapped algorithm is untouched: two
+	// consecutive releases differ (fresh noise) around the same raw model.
+	r2 := wrapped.Global()
+	if released.DistanceSq(r2) == 0 {
+		t.Fatal("each release should draw fresh noise")
+	}
+}
+
+func TestPrivacyClippingBoundsRelease(t *testing.T) {
+	inner := &stubAlgo{}
+	env := testEnv(22, 3)
+	cfg := Config{Rounds: 1, ClientsPerRound: 2, LocalEpochs: 1, BatchSize: 16, LR: 0.05, Seed: 1}
+	if err := inner.Init(env, cfg, tensor.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := WithPrivacy(inner, PrivacyOptions{ClipNorm: 0.1, NoiseStd: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := wrapped.Global() // anchors the reference
+	// Push the inner model far away.
+	big := inner.global.Clone()
+	for i := range big {
+		big[i] += 5
+	}
+	inner.global = big
+	second := wrapped.Global()
+	delta := second.Sub(first)
+	if n := delta.Norm(); n > 0.1+1e-9 {
+		t.Fatalf("release moved %v, clip is 0.1", n)
+	}
+}

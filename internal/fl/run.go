@@ -1,0 +1,159 @@
+package fl
+
+import (
+	"fmt"
+
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+// Algorithm is the plug-in point for FL methods. The Runner owns client
+// selection and evaluation; the algorithm owns what happens inside a
+// round.
+type Algorithm interface {
+	// Name identifies the method in reports ("fedavg", "fedcross", ...).
+	Name() string
+	// Category is the Table-I taxonomy bucket.
+	Category() string
+	// Init prepares the algorithm's state for the given environment. It
+	// is called exactly once before the first round.
+	Init(env *Env, cfg Config, rng *tensor.RNG) error
+	// Round runs one training round on the selected client indices. A
+	// selected index of -1 marks a client that was activated but dropped
+	// out (failure injection); algorithms must tolerate it.
+	Round(r int, selected []int) error
+	// Global returns the current deployment model. For FedCross this
+	// triggers GlobalModelGen; for the baselines it is the live global
+	// model.
+	Global() nn.ParamVector
+	// RoundComm is the per-round communication profile for K activated
+	// clients.
+	RoundComm(k int) CommProfile
+}
+
+// Selector is optionally implemented by algorithms that choose their own
+// clients (CluSamp's clustered sampling). The Runner falls back to uniform
+// random selection otherwise.
+type Selector interface {
+	SelectClients(r int, rng *tensor.RNG, n, k int) []int
+}
+
+// RoundMetric records the state after one evaluated round.
+type RoundMetric struct {
+	// Round is the 1-based round index.
+	Round int
+	// TestAcc and TestLoss are the global model's held-out metrics.
+	TestAcc, TestLoss float64
+	// CumModelEquivalents is cumulative communication in model-sized
+	// units up to and including this round.
+	CumModelEquivalents float64
+}
+
+// History is a full run record.
+type History struct {
+	// Algorithm is the method name.
+	Algorithm string
+	// Metrics holds one entry per evaluated round.
+	Metrics []RoundMetric
+	// Comm is the whole-run communication total.
+	Comm CommProfile
+}
+
+// Final returns the last evaluated metric.
+func (h *History) Final() RoundMetric {
+	if len(h.Metrics) == 0 {
+		return RoundMetric{}
+	}
+	return h.Metrics[len(h.Metrics)-1]
+}
+
+// BestAcc returns the best test accuracy seen at any evaluation point.
+func (h *History) BestAcc() float64 {
+	best := 0.0
+	for _, m := range h.Metrics {
+		if m.TestAcc > best {
+			best = m.TestAcc
+		}
+	}
+	return best
+}
+
+// RoundsToAcc returns the first evaluated round reaching acc, or -1.
+func (h *History) RoundsToAcc(acc float64) int {
+	for _, m := range h.Metrics {
+		if m.TestAcc >= acc {
+			return m.Round
+		}
+	}
+	return -1
+}
+
+// Run executes a full FL simulation: Init, Rounds× (select → algorithm
+// round → optional eval), returning the metric history.
+func Run(algo Algorithm, env *Env, cfg Config) (*History, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := env.NumClients()
+	if n == 0 {
+		return nil, fmt.Errorf("fl: Run: environment has no clients")
+	}
+	k := cfg.ClientsPerRound
+	if k > n {
+		k = n
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	if err := algo.Init(env, cfg, rng.Split()); err != nil {
+		return nil, fmt.Errorf("fl: Run: init %s: %w", algo.Name(), err)
+	}
+
+	selRNG := rng.Split()
+	dropRNG := rng.Split()
+	hist := &History{Algorithm: algo.Name()}
+	var acct Accountant
+	genFrac := 0.25 // generators are a quarter model, cf. comm.go
+
+	for r := 0; r < cfg.Rounds; r++ {
+		selected := selectClients(algo, r, selRNG, n, k)
+		if cfg.DropoutRate > 0 {
+			for i := range selected {
+				if dropRNG.Float64() < cfg.DropoutRate {
+					selected[i] = -1
+				}
+			}
+		}
+		if err := algo.Round(r, selected); err != nil {
+			return nil, fmt.Errorf("fl: Run: %s round %d: %w", algo.Name(), r, err)
+		}
+		acct.Record(algo.RoundComm(k))
+
+		last := r == cfg.Rounds-1
+		if last || (cfg.EvalEvery > 0 && (r+1)%cfg.EvalEvery == 0) {
+			acc, loss, err := Evaluate(env.Model, algo.Global(), env.Fed.Test, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fl: Run: eval round %d: %w", r, err)
+			}
+			hist.Metrics = append(hist.Metrics, RoundMetric{
+				Round:               r + 1,
+				TestAcc:             acc,
+				TestLoss:            loss,
+				CumModelEquivalents: acct.Total().TotalModelEquivalents(genFrac),
+			})
+		}
+	}
+	hist.Comm = acct.Total()
+	return hist, nil
+}
+
+// selectClients asks the algorithm first and falls back to uniform random
+// selection without replacement.
+func selectClients(algo Algorithm, r int, rng *tensor.RNG, n, k int) []int {
+	if s, ok := algo.(Selector); ok {
+		sel := s.SelectClients(r, rng, n, k)
+		if len(sel) == k {
+			return sel
+		}
+	}
+	perm := rng.Perm(n)
+	return perm[:k]
+}

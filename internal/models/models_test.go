@@ -1,0 +1,133 @@
+package models
+
+import (
+	"testing"
+
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+func TestVisionModelShapes(t *testing.T) {
+	for _, f := range []Factory{CNN(10), ResNetMini(10), VGGMini(10)} {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			rng := tensor.NewRNG(1)
+			net := f.New(rng)
+			x := rng.Randn(1, 4, VisionFeatures)
+			y := net.Forward(x, false)
+			if y.Shape[0] != 4 || y.Shape[1] != 10 {
+				t.Fatalf("output shape %v, want [4 10]", y.Shape)
+			}
+			if y.HasNaN() {
+				t.Fatal("forward produced NaN")
+			}
+		})
+	}
+}
+
+func TestVGGIsLargest(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	cnn := CNN(10).New(rng).NumParams()
+	res := ResNetMini(10).New(rng).NumParams()
+	vgg := VGGMini(10).New(rng).NumParams()
+	if vgg <= cnn || vgg <= res {
+		t.Fatalf("VGGMini must be largest: cnn=%d resnet=%d vgg=%d", cnn, res, vgg)
+	}
+}
+
+func TestFactoriesDeterministic(t *testing.T) {
+	for _, f := range []Factory{CNN(10), ResNetMini(10), VGGMini(10), MLP(8, 4, 3)} {
+		a := nn.FlattenParams(f.New(tensor.NewRNG(42)).Params())
+		b := nn.FlattenParams(f.New(tensor.NewRNG(42)).Params())
+		if len(a) != len(b) {
+			t.Fatalf("%s: param counts differ", f.Name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed must give same weights", f.Name)
+			}
+		}
+	}
+}
+
+func TestParamVectorRoundTripThroughFreshInstance(t *testing.T) {
+	// The FL pattern: flatten a trained model, rebuild the architecture
+	// fresh, load the vector, get identical outputs.
+	f := ResNetMini(10)
+	rng := tensor.NewRNG(3)
+	m1 := f.New(rng)
+	vec := nn.FlattenParams(m1.Params())
+	m2 := f.New(tensor.NewRNG(999)) // different init
+	if err := nn.LoadParams(m2.Params(), vec); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewRNG(4).Randn(1, 2, VisionFeatures)
+	y1 := m1.Forward(x, false)
+	y2 := m2.Forward(x, false)
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatal("loaded model output differs from source")
+		}
+	}
+}
+
+func TestTextModels(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	char := CharLSTM(20, 6, 4, 8).New(rng)
+	x := tensor.New([]float64{1, 2, 3, 4, 5, 6, 0, 19, 7, 3, 2, 1}, 2, 6)
+	y := char.Forward(x, false)
+	if y.Shape[1] != 20 {
+		t.Fatalf("char-lstm output %v, want vocab 20", y.Shape)
+	}
+	sent := SentLSTM(30, 5, 4, 8).New(rng)
+	xs := tensor.New([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 2, 5)
+	ys := sent.Forward(xs, false)
+	if ys.Shape[1] != 2 {
+		t.Fatalf("sent-lstm output %v, want 2 classes", ys.Shape)
+	}
+}
+
+func TestRegistryAndNames(t *testing.T) {
+	reg := Registry(10)
+	for _, name := range Names() {
+		f, ok := reg[name]
+		if !ok {
+			t.Fatalf("Names lists %q but Registry lacks it", name)
+		}
+		if f.New == nil {
+			t.Fatalf("factory %q has nil constructor", name)
+		}
+	}
+	if len(Names()) < 4 {
+		t.Fatalf("expected at least 4 registered models, got %d", len(Names()))
+	}
+}
+
+func TestVisionModelsTrainable(t *testing.T) {
+	// One SGD step must change parameters and not blow up.
+	for _, f := range []Factory{CNN(10), ResNetMini(10)} {
+		rng := tensor.NewRNG(6)
+		net := f.New(rng)
+		before := nn.FlattenParams(net.Params()).Clone()
+		x := rng.Randn(1, 8, VisionFeatures)
+		labels := make([]int, 8)
+		for i := range labels {
+			labels[i] = i % 10
+		}
+		opt := nn.NewSGD(0.01, 0.5)
+		net.ZeroGrads()
+		logits := net.Forward(x, true)
+		_, grad := nn.SoftmaxCrossEntropy(logits, labels)
+		net.Backward(grad)
+		opt.Step(net.Params(), net.Grads())
+		after := nn.FlattenParams(net.Params())
+		if before.DistanceSq(after) == 0 {
+			t.Fatalf("%s: SGD step did not move parameters", f.Name)
+		}
+		for _, v := range after {
+			if v != v { // NaN check
+				t.Fatalf("%s: NaN after SGD step", f.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"math"
+
+	"fedcross/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over CHW images carried in flattened
+// (batch × C·H·W) activations. The spatial geometry is fixed at
+// construction; the forward pass lowers each sample with im2col so the
+// convolution is a single matrix multiply per sample.
+type Conv2D struct {
+	Geom   tensor.ConvGeom
+	OutC   int
+	W      *tensor.Tensor // (OutC × InC*KH*KW)
+	B      *tensor.Tensor // (OutC)
+	dW, dB *tensor.Tensor
+
+	cols []*tensor.Tensor // cached im2col matrices per sample
+}
+
+// NewConv2D constructs a convolution with the given geometry and output
+// channel count, Kaiming-uniform initialised.
+func NewConv2D(g tensor.ConvGeom, outC int, rng *tensor.RNG) *Conv2D {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	fanIn := g.InC * g.KH * g.KW
+	bound := math.Sqrt(6.0 / float64(fanIn))
+	return &Conv2D{
+		Geom: g, OutC: outC,
+		W:  rng.Uniform(-bound, bound, outC, fanIn),
+		B:  tensor.Zeros(outC),
+		dW: tensor.Zeros(outC, fanIn),
+		dB: tensor.Zeros(outC),
+	}
+}
+
+// InFeatures returns the flattened input width the layer expects.
+func (c *Conv2D) InFeatures() int { return c.Geom.InC * c.Geom.InH * c.Geom.InW }
+
+// OutFeatures returns the flattened output width the layer produces.
+func (c *Conv2D) OutFeatures() int { return c.OutC * c.Geom.OutH() * c.Geom.OutW() }
+
+// Forward applies the convolution to every sample in the batch.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatch("Conv2D", x, c.InFeatures())
+	batch := x.Shape[0]
+	oh, ow := c.Geom.OutH(), c.Geom.OutW()
+	spatial := oh * ow
+	out := tensor.Zeros(batch, c.OutC*spatial)
+	c.cols = c.cols[:0]
+	inLen := c.InFeatures()
+	for b := 0; b < batch; b++ {
+		img := tensor.New(x.Data[b*inLen:(b+1)*inLen], c.Geom.InC, c.Geom.InH, c.Geom.InW)
+		cols := tensor.Im2Col(img, c.Geom)
+		c.cols = append(c.cols, cols)
+		y := tensor.MatMul(c.W, cols) // (OutC × spatial)
+		dst := out.Data[b*c.OutC*spatial : (b+1)*c.OutC*spatial]
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := c.B.Data[oc]
+			row := y.Data[oc*spatial : (oc+1)*spatial]
+			dstRow := dst[oc*spatial : (oc+1)*spatial]
+			for j := range row {
+				dstRow[j] = row[j] + bias
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW/dB and returns the input gradient.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	checkBatch("Conv2D.Backward", grad, c.OutFeatures())
+	batch := grad.Shape[0]
+	oh, ow := c.Geom.OutH(), c.Geom.OutW()
+	spatial := oh * ow
+	inLen := c.InFeatures()
+	dx := tensor.Zeros(batch, inLen)
+	for b := 0; b < batch; b++ {
+		g := tensor.New(grad.Data[b*c.OutC*spatial:(b+1)*c.OutC*spatial], c.OutC, spatial)
+		// dW += g · colsᵀ
+		tensor.AddInPlace(c.dW, tensor.MatMulTransB(g, c.cols[b]))
+		// dB += row sums of g
+		for oc := 0; oc < c.OutC; oc++ {
+			row := g.Data[oc*spatial : (oc+1)*spatial]
+			s := 0.0
+			for _, v := range row {
+				s += v
+			}
+			c.dB.Data[oc] += s
+		}
+		// dcols = Wᵀ · g ; dx = col2im(dcols)
+		dcols := tensor.MatMulTransA(c.W, g)
+		dimg := tensor.Col2Im(dcols, c.Geom)
+		copy(dx.Data[b*inLen:(b+1)*inLen], dimg.Data)
+	}
+	return dx
+}
+
+// Params returns {W, B}.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads returns {dW, dB}.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.dW, c.dB} }

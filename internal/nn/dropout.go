@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedcross/internal/tensor"
+)
+
+// Dropout zeroes activations with probability P during training and
+// rescales the survivors by 1/(1-P) (inverted dropout), so inference needs
+// no adjustment.
+type Dropout struct {
+	P   float64
+	rng *tensor.RNG
+
+	mask []float64
+}
+
+// NewDropout constructs a dropout layer with drop probability p in [0,1).
+func NewDropout(p float64, rng *tensor.RNG) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: Dropout probability %v out of [0,1)", p))
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward applies the mask during training and is the identity otherwise.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]float64, len(x.Data))
+	}
+	d.mask = d.mask[:len(x.Data)]
+	scale := 1 / (1 - d.P)
+	out := tensor.Zeros(x.Shape...)
+	for i, v := range x.Data {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = 0
+		} else {
+			d.mask[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient with the same mask used in Forward.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	out := tensor.Zeros(grad.Shape...)
+	for i, v := range grad.Data {
+		out.Data[i] = v * d.mask[i]
+	}
+	return out
+}
+
+// Params returns nil.
+func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads returns nil.
+func (d *Dropout) Grads() []*tensor.Tensor { return nil }

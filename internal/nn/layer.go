@@ -1,0 +1,105 @@
+// Package nn is a from-scratch neural-network stack: layers with
+// hand-derived backward passes, softmax cross-entropy, and SGD with
+// momentum. It exists because the FedCross reproduction needs a DNN
+// training substrate and Go has no stdlib one; every layer is
+// gradient-checked against central differences in the tests.
+//
+// Conventions:
+//   - Activations are rank-2 tensors (batch × features). Convolutional
+//     layers are told their spatial geometry at construction and reshape
+//     internally, so the rest of the stack never juggles ranks.
+//   - Layers cache whatever the backward pass needs during Forward, so a
+//     layer instance must not be shared between concurrent training runs.
+//   - Backward receives dLoss/dOutput and returns dLoss/dInput, and
+//     accumulates parameter gradients internally (read via Grads).
+package nn
+
+import (
+	"fmt"
+
+	"fedcross/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Forward computes the layer output for a (batch × features) input.
+	// train toggles training-only behaviour such as dropout.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes dLoss/dOutput and returns dLoss/dInput,
+	// accumulating parameter gradients as a side effect.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameter tensors (may be empty).
+	Params() []*tensor.Tensor
+	// Grads returns gradient tensors aligned with Params.
+	Grads() []*tensor.Tensor
+}
+
+// Sequential chains layers. It implements Layer itself, so blocks nest.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward applies every layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the gradient through the layers in reverse order.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns the concatenation of all layer parameters, in layer order.
+func (s *Sequential) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads returns the concatenation of all layer gradients, aligned with
+// Params.
+func (s *Sequential) Grads() []*tensor.Tensor {
+	var gs []*tensor.Tensor
+	for _, l := range s.Layers {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// ZeroGrads clears every gradient tensor of the network.
+func (s *Sequential) ZeroGrads() {
+	for _, g := range s.Grads() {
+		g.Zero()
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += p.Len()
+	}
+	return n
+}
+
+func checkBatch(name string, x *tensor.Tensor, features int) {
+	if x.Rank() != 2 {
+		panic(fmt.Sprintf("nn: %s expects rank-2 input, got shape %v", name, x.Shape))
+	}
+	if features > 0 && x.Shape[1] != features {
+		panic(fmt.Sprintf("nn: %s expects %d input features, got %d", name, features, x.Shape[1]))
+	}
+}

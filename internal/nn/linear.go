@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"math"
+
+	"fedcross/internal/tensor"
+)
+
+// Linear is a fully connected layer: y = xW + b with W of shape (in × out).
+type Linear struct {
+	In, Out int
+	W, B    *tensor.Tensor
+	dW, dB  *tensor.Tensor
+
+	x *tensor.Tensor // cached input for backward
+}
+
+// NewLinear constructs a Linear layer with Kaiming-uniform weights drawn
+// from rng.
+func NewLinear(in, out int, rng *tensor.RNG) *Linear {
+	bound := math.Sqrt(6.0 / float64(in))
+	return &Linear{
+		In: in, Out: out,
+		W:  rng.Uniform(-bound, bound, in, out),
+		B:  tensor.Zeros(out),
+		dW: tensor.Zeros(in, out),
+		dB: tensor.Zeros(out),
+	}
+}
+
+// Forward computes xW + b.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatch("Linear", x, l.In)
+	l.x = x
+	out := tensor.MatMul(x, l.W)
+	batch := out.Shape[0]
+	for b := 0; b < batch; b++ {
+		row := out.Data[b*l.Out : (b+1)*l.Out]
+		for j := range row {
+			row[j] += l.B.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW, dB and returns dLoss/dInput.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	checkBatch("Linear.Backward", grad, l.Out)
+	// dW += xᵀ · grad ; dB += Σ_batch grad ; dx = grad · Wᵀ
+	tensor.AddInPlace(l.dW, tensor.MatMulTransA(l.x, grad))
+	batch := grad.Shape[0]
+	for b := 0; b < batch; b++ {
+		row := grad.Data[b*l.Out : (b+1)*l.Out]
+		for j := range row {
+			l.dB.Data[j] += row[j]
+		}
+	}
+	return tensor.MatMulTransB(grad, l.W)
+}
+
+// Params returns {W, B}.
+func (l *Linear) Params() []*tensor.Tensor { return []*tensor.Tensor{l.W, l.B} }
+
+// Grads returns {dW, dB}.
+func (l *Linear) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.dW, l.dB} }

@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedcross/internal/tensor"
+)
+
+// LSTM is a single-layer LSTM that consumes a whole sequence and emits the
+// final hidden state. Input is (batch × T·D) — T concatenated D-wide steps,
+// as produced by Embedding — and output is (batch × H). Backward runs full
+// backpropagation through time.
+type LSTM struct {
+	T, D, H int
+
+	Wx *tensor.Tensor // (D × 4H), gate order [i f g o]
+	Wh *tensor.Tensor // (H × 4H)
+	B  *tensor.Tensor // (4H)
+
+	dWx, dWh, dB *tensor.Tensor
+
+	// Per-forward caches, one entry per timestep.
+	xs    []*tensor.Tensor // (B × D) input slices
+	hs    []*tensor.Tensor // (B × H) hidden states, hs[0] is h_{-1}=0
+	cs    []*tensor.Tensor // (B × H) cell states, cs[0] is c_{-1}=0
+	gates []*tensor.Tensor // (B × 4H) post-activation gates
+	tanhC []*tensor.Tensor // (B × H) tanh(c_t)
+	batch int
+}
+
+// NewLSTM constructs an LSTM for sequences of T steps of width D with H
+// hidden units. The forget-gate bias is initialised to 1, the standard
+// trick for stable early training.
+func NewLSTM(t, d, h int, rng *tensor.RNG) *LSTM {
+	if t <= 0 || d <= 0 || h <= 0 {
+		panic(fmt.Sprintf("nn: LSTM: non-positive dims T=%d D=%d H=%d", t, d, h))
+	}
+	bx := math.Sqrt(6.0 / float64(d+4*h))
+	bh := math.Sqrt(6.0 / float64(h+4*h))
+	l := &LSTM{
+		T: t, D: d, H: h,
+		Wx:  rng.Uniform(-bx, bx, d, 4*h),
+		Wh:  rng.Uniform(-bh, bh, h, 4*h),
+		B:   tensor.Zeros(4 * h),
+		dWx: tensor.Zeros(d, 4*h),
+		dWh: tensor.Zeros(h, 4*h),
+		dB:  tensor.Zeros(4 * h),
+	}
+	for j := h; j < 2*h; j++ { // forget gate slice
+		l.B.Data[j] = 1
+	}
+	return l
+}
+
+// Forward runs the recurrence over all T steps and returns the last hidden
+// state.
+func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatch("LSTM", x, l.T*l.D)
+	batch := x.Shape[0]
+	l.batch = batch
+	h4 := 4 * l.H
+
+	l.xs = l.xs[:0]
+	l.hs = append(l.hs[:0], tensor.Zeros(batch, l.H))
+	l.cs = append(l.cs[:0], tensor.Zeros(batch, l.H))
+	l.gates = l.gates[:0]
+	l.tanhC = l.tanhC[:0]
+
+	for t := 0; t < l.T; t++ {
+		// Slice out step t of each sample into a (B × D) matrix.
+		xt := tensor.Zeros(batch, l.D)
+		for b := 0; b < batch; b++ {
+			copy(xt.Data[b*l.D:(b+1)*l.D], x.Data[b*l.T*l.D+t*l.D:b*l.T*l.D+(t+1)*l.D])
+		}
+		l.xs = append(l.xs, xt)
+
+		a := tensor.MatMul(xt, l.Wx)
+		tensor.AddInPlace(a, tensor.MatMul(l.hs[t], l.Wh))
+		for b := 0; b < batch; b++ {
+			row := a.Data[b*h4 : (b+1)*h4]
+			for j := range row {
+				row[j] += l.B.Data[j]
+			}
+		}
+
+		gate := tensor.Zeros(batch, h4)
+		ct := tensor.Zeros(batch, l.H)
+		ht := tensor.Zeros(batch, l.H)
+		tc := tensor.Zeros(batch, l.H)
+		prevC := l.cs[t]
+		for b := 0; b < batch; b++ {
+			arow := a.Data[b*h4 : (b+1)*h4]
+			grow := gate.Data[b*h4 : (b+1)*h4]
+			for j := 0; j < l.H; j++ {
+				i := sigmoid(arow[j])
+				f := sigmoid(arow[l.H+j])
+				g := math.Tanh(arow[2*l.H+j])
+				o := sigmoid(arow[3*l.H+j])
+				grow[j], grow[l.H+j], grow[2*l.H+j], grow[3*l.H+j] = i, f, g, o
+				c := f*prevC.Data[b*l.H+j] + i*g
+				ct.Data[b*l.H+j] = c
+				th := math.Tanh(c)
+				tc.Data[b*l.H+j] = th
+				ht.Data[b*l.H+j] = o * th
+			}
+		}
+		l.gates = append(l.gates, gate)
+		l.cs = append(l.cs, ct)
+		l.hs = append(l.hs, ht)
+		l.tanhC = append(l.tanhC, tc)
+	}
+	return l.hs[l.T]
+}
+
+// Backward backpropagates through time from the final hidden state.
+func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	checkBatch("LSTM.Backward", grad, l.H)
+	batch := l.batch
+	h4 := 4 * l.H
+	dx := tensor.Zeros(batch, l.T*l.D)
+	dh := grad.Clone()
+	dc := tensor.Zeros(batch, l.H)
+
+	for t := l.T - 1; t >= 0; t-- {
+		gate := l.gates[t]
+		da := tensor.Zeros(batch, h4)
+		prevC := l.cs[t]
+		for b := 0; b < batch; b++ {
+			grow := gate.Data[b*h4 : (b+1)*h4]
+			darow := da.Data[b*h4 : (b+1)*h4]
+			for j := 0; j < l.H; j++ {
+				i, f, g, o := grow[j], grow[l.H+j], grow[2*l.H+j], grow[3*l.H+j]
+				th := l.tanhC[t].Data[b*l.H+j]
+				dhv := dh.Data[b*l.H+j]
+				do := dhv * th
+				dcv := dc.Data[b*l.H+j] + dhv*o*(1-th*th)
+				di := dcv * g
+				dg := dcv * i
+				df := dcv * prevC.Data[b*l.H+j]
+				dc.Data[b*l.H+j] = dcv * f // becomes dc_{t-1}
+				darow[j] = di * i * (1 - i)
+				darow[l.H+j] = df * f * (1 - f)
+				darow[2*l.H+j] = dg * (1 - g*g)
+				darow[3*l.H+j] = do * o * (1 - o)
+			}
+		}
+		// Parameter gradients.
+		tensor.AddInPlace(l.dWx, tensor.MatMulTransA(l.xs[t], da))
+		tensor.AddInPlace(l.dWh, tensor.MatMulTransA(l.hs[t], da))
+		for b := 0; b < batch; b++ {
+			row := da.Data[b*h4 : (b+1)*h4]
+			for j := range row {
+				l.dB.Data[j] += row[j]
+			}
+		}
+		// Input and recurrent gradients.
+		dxt := tensor.MatMulTransB(da, l.Wx)
+		for b := 0; b < batch; b++ {
+			copy(dx.Data[b*l.T*l.D+t*l.D:b*l.T*l.D+(t+1)*l.D], dxt.Data[b*l.D:(b+1)*l.D])
+		}
+		dh = tensor.MatMulTransB(da, l.Wh)
+	}
+	return dx
+}
+
+// Params returns {Wx, Wh, B}.
+func (l *LSTM) Params() []*tensor.Tensor { return []*tensor.Tensor{l.Wx, l.Wh, l.B} }
+
+// Grads returns {dWx, dWh, dB}.
+func (l *LSTM) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.dWx, l.dWh, l.dB} }

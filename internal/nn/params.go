@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedcross/internal/tensor"
+)
+
+// ParamVector is a model's full parameter set flattened into one vector.
+// The FL layer manipulates models exclusively through ParamVectors:
+// aggregation, similarity, and dispatch are all vector operations, which
+// keeps every algorithm model-architecture-agnostic.
+type ParamVector []float64
+
+// FlattenParams copies the given parameter tensors into a single vector.
+func FlattenParams(params []*tensor.Tensor) ParamVector {
+	n := 0
+	for _, p := range params {
+		n += p.Len()
+	}
+	v := make(ParamVector, 0, n)
+	for _, p := range params {
+		v = append(v, p.Data...)
+	}
+	return v
+}
+
+// LoadParams copies vec back into the parameter tensors. It returns an
+// error when the total element counts disagree.
+func LoadParams(params []*tensor.Tensor, vec ParamVector) error {
+	n := 0
+	for _, p := range params {
+		n += p.Len()
+	}
+	if n != len(vec) {
+		return fmt.Errorf("nn: LoadParams: vector has %d elements, model wants %d", len(vec), n)
+	}
+	off := 0
+	for _, p := range params {
+		copy(p.Data, vec[off:off+p.Len()])
+		off += p.Len()
+	}
+	return nil
+}
+
+// Clone returns a deep copy of v.
+func (v ParamVector) Clone() ParamVector {
+	out := make(ParamVector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Lerp returns alpha*v + (1-alpha)*w, the cross-aggregation primitive.
+func (v ParamVector) Lerp(w ParamVector, alpha float64) ParamVector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("nn: ParamVector.Lerp length mismatch %d vs %d", len(v), len(w)))
+	}
+	out := make(ParamVector, len(v))
+	beta := 1 - alpha
+	for i := range v {
+		out[i] = alpha*v[i] + beta*w[i]
+	}
+	return out
+}
+
+// Add returns v + w.
+func (v ParamVector) Add(w ParamVector) ParamVector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("nn: ParamVector.Add length mismatch %d vs %d", len(v), len(w)))
+	}
+	out := make(ParamVector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w.
+func (v ParamVector) Sub(w ParamVector) ParamVector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("nn: ParamVector.Sub length mismatch %d vs %d", len(v), len(w)))
+	}
+	out := make(ParamVector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns s*v.
+func (v ParamVector) Scale(s float64) ParamVector {
+	out := make(ParamVector, len(v))
+	for i := range v {
+		out[i] = s * v[i]
+	}
+	return out
+}
+
+// AXPY adds alpha*w to v in place.
+func (v ParamVector) AXPY(alpha float64, w ParamVector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("nn: ParamVector.AXPY length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+}
+
+// Dot returns the inner product of v and w.
+func (v ParamVector) Dot(w ParamVector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("nn: ParamVector.Dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	s := 0.0
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm returns the L2 norm of v.
+func (v ParamVector) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// DistanceSq returns ‖v-w‖², the quantity Lemma 3.4's contraction bounds.
+func (v ParamVector) DistanceSq(w ParamVector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("nn: ParamVector.DistanceSq length mismatch %d vs %d", len(v), len(w)))
+	}
+	s := 0.0
+	for i := range v {
+		d := v[i] - w[i]
+		s += d * d
+	}
+	return s
+}
+
+// MeanVectors averages a non-empty set of equal-length vectors — the
+// GlobalModelGen / FedAvg primitive.
+func MeanVectors(vs []ParamVector) ParamVector {
+	if len(vs) == 0 {
+		panic("nn: MeanVectors of empty set")
+	}
+	out := make(ParamVector, len(vs[0]))
+	for _, v := range vs {
+		if len(v) != len(out) {
+			panic(fmt.Sprintf("nn: MeanVectors length mismatch %d vs %d", len(v), len(out)))
+		}
+		for i := range v {
+			out[i] += v[i]
+		}
+	}
+	inv := 1 / float64(len(vs))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// WeightedMeanVectors averages vectors with the given non-negative weights
+// (normalised internally). Used for sample-size-weighted FedAvg.
+func WeightedMeanVectors(vs []ParamVector, weights []float64) ParamVector {
+	if len(vs) == 0 || len(vs) != len(weights) {
+		panic(fmt.Sprintf("nn: WeightedMeanVectors: %d vectors, %d weights", len(vs), len(weights)))
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("nn: WeightedMeanVectors: negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		return MeanVectors(vs)
+	}
+	out := make(ParamVector, len(vs[0]))
+	for k, v := range vs {
+		w := weights[k] / total
+		for i := range v {
+			out[i] += w * v[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedcross/internal/tensor"
+)
+
+// MaxPool2D performs non-overlapping max pooling over CHW images carried in
+// flattened activations. Kernel size equals stride (the common 2×2/2 case).
+type MaxPool2D struct {
+	C, H, W int // input geometry
+	K       int // kernel = stride
+
+	argmax []int // flat input index chosen per output element, per batch
+	batch  int
+}
+
+// NewMaxPool2D constructs a pooling layer for C×H×W inputs with kernel k.
+// H and W must be divisible by k.
+func NewMaxPool2D(c, h, w, k int) *MaxPool2D {
+	if k <= 0 || h%k != 0 || w%k != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D: kernel %d must divide %dx%d", k, h, w))
+	}
+	return &MaxPool2D{C: c, H: h, W: w, K: k}
+}
+
+// InFeatures returns the flattened input width.
+func (p *MaxPool2D) InFeatures() int { return p.C * p.H * p.W }
+
+// OutFeatures returns the flattened output width.
+func (p *MaxPool2D) OutFeatures() int { return p.C * (p.H / p.K) * (p.W / p.K) }
+
+// Forward takes the max over each k×k window.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatch("MaxPool2D", x, p.InFeatures())
+	batch := x.Shape[0]
+	p.batch = batch
+	oh, ow := p.H/p.K, p.W/p.K
+	outLen := p.C * oh * ow
+	out := tensor.Zeros(batch, outLen)
+	if cap(p.argmax) < batch*outLen {
+		p.argmax = make([]int, batch*outLen)
+	}
+	p.argmax = p.argmax[:batch*outLen]
+	inLen := p.InFeatures()
+	for b := 0; b < batch; b++ {
+		src := x.Data[b*inLen : (b+1)*inLen]
+		dst := out.Data[b*outLen : (b+1)*outLen]
+		am := p.argmax[b*outLen : (b+1)*outLen]
+		for c := 0; c < p.C; c++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for dy := 0; dy < p.K; dy++ {
+						for dx := 0; dx < p.K; dx++ {
+							idx := c*p.H*p.W + (oy*p.K+dy)*p.W + (ox*p.K + dx)
+							if src[idx] > best {
+								best = src[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					o := c*oh*ow + oy*ow + ox
+					dst[o] = best
+					am[o] = bestIdx
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes each output gradient to the input element that won the max.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	checkBatch("MaxPool2D.Backward", grad, p.OutFeatures())
+	inLen := p.InFeatures()
+	outLen := p.OutFeatures()
+	dx := tensor.Zeros(p.batch, inLen)
+	for b := 0; b < p.batch; b++ {
+		g := grad.Data[b*outLen : (b+1)*outLen]
+		am := p.argmax[b*outLen : (b+1)*outLen]
+		dst := dx.Data[b*inLen : (b+1)*inLen]
+		for o, idx := range am {
+			dst[idx] += g[o]
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (p *MaxPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads returns nil.
+func (p *MaxPool2D) Grads() []*tensor.Tensor { return nil }
+
+// GlobalAvgPool averages each channel's spatial plane, mapping
+// (batch × C·H·W) to (batch × C). ResNet-style heads use it before the
+// final Linear.
+type GlobalAvgPool struct {
+	C, H, W int
+	batch   int
+}
+
+// NewGlobalAvgPool constructs a global average pool for C×H×W inputs.
+func NewGlobalAvgPool(c, h, w int) *GlobalAvgPool {
+	return &GlobalAvgPool{C: c, H: h, W: w}
+}
+
+// Forward averages over the spatial plane of each channel.
+func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatch("GlobalAvgPool", x, p.C*p.H*p.W)
+	batch := x.Shape[0]
+	p.batch = batch
+	plane := p.H * p.W
+	out := tensor.Zeros(batch, p.C)
+	for b := 0; b < batch; b++ {
+		src := x.Data[b*p.C*plane : (b+1)*p.C*plane]
+		for c := 0; c < p.C; c++ {
+			s := 0.0
+			for _, v := range src[c*plane : (c+1)*plane] {
+				s += v
+			}
+			out.Data[b*p.C+c] = s / float64(plane)
+		}
+	}
+	return out
+}
+
+// Backward spreads each channel gradient uniformly over its plane.
+func (p *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	checkBatch("GlobalAvgPool.Backward", grad, p.C)
+	plane := p.H * p.W
+	inv := 1.0 / float64(plane)
+	dx := tensor.Zeros(p.batch, p.C*plane)
+	for b := 0; b < p.batch; b++ {
+		for c := 0; c < p.C; c++ {
+			g := grad.Data[b*p.C+c] * inv
+			dst := dx.Data[b*p.C*plane+c*plane : b*p.C*plane+(c+1)*plane]
+			for i := range dst {
+				dst[i] = g
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (p *GlobalAvgPool) Params() []*tensor.Tensor { return nil }
+
+// Grads returns nil.
+func (p *GlobalAvgPool) Grads() []*tensor.Tensor { return nil }

@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedcross/internal/tensor"
+)
+
+// SGD implements stochastic gradient descent with classical momentum and
+// optional weight decay — the optimizer used throughout the paper
+// (lr = 0.01, momentum = 0.5).
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity []*tensor.Tensor
+}
+
+// NewSGD constructs an optimizer with the given learning rate and momentum.
+func NewSGD(lr, momentum float64) *SGD {
+	if lr <= 0 {
+		panic(fmt.Sprintf("nn: SGD learning rate must be positive, got %v", lr))
+	}
+	return &SGD{LR: lr, Momentum: momentum}
+}
+
+// Step applies one update to params given grads, both as returned by a
+// network's Params/Grads. Velocity buffers are allocated lazily on first
+// use and keyed by position, so an SGD instance is tied to one network.
+func (s *SGD) Step(params, grads []*tensor.Tensor) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("nn: SGD.Step: %d params vs %d grads", len(params), len(grads)))
+	}
+	if s.velocity == nil {
+		s.velocity = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.Zeros(p.Shape...)
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		v := s.velocity[i]
+		for j := range p.Data {
+			gj := g.Data[j]
+			if s.WeightDecay != 0 {
+				gj += s.WeightDecay * p.Data[j]
+			}
+			v.Data[j] = s.Momentum*v.Data[j] + gj
+			p.Data[j] -= s.LR * v.Data[j]
+		}
+	}
+}
+
+// Reset clears the momentum buffers, e.g. when a fresh model is loaded
+// into the same training loop.
+func (s *SGD) Reset() { s.velocity = nil }

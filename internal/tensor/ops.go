@@ -1,0 +1,244 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b elementwise. Shapes must match.
+func Add(a, b *Tensor) *Tensor {
+	checkSame("Add", a, b)
+	out := Zeros(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	checkSame("Sub", a, b)
+	out := Zeros(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product a * b.
+func Mul(a, b *Tensor) *Tensor {
+	checkSame("Mul", a, b)
+	out := Zeros(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s * a.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := Zeros(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	return out
+}
+
+// AddInPlace accumulates src into dst: dst += src.
+func AddInPlace(dst, src *Tensor) {
+	checkSame("AddInPlace", dst, src)
+	for i := range dst.Data {
+		dst.Data[i] += src.Data[i]
+	}
+}
+
+// AXPY computes dst += alpha * src, the BLAS-style accumulate used by SGD.
+func AXPY(alpha float64, src, dst *Tensor) {
+	checkSame("AXPY", dst, src)
+	for i := range dst.Data {
+		dst.Data[i] += alpha * src.Data[i]
+	}
+}
+
+// ScaleInPlace multiplies every element of t by s.
+func ScaleInPlace(t *Tensor, s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// Lerp returns alpha*a + (1-alpha)*b, the convex combination used by
+// cross-aggregation.
+func Lerp(a, b *Tensor, alpha float64) *Tensor {
+	checkSame("Lerp", a, b)
+	out := Zeros(a.Shape...)
+	beta := 1 - alpha
+	for i := range a.Data {
+		out.Data[i] = alpha*a.Data[i] + beta*b.Data[i]
+	}
+	return out
+}
+
+// Dot returns the inner product of a and b viewed as flat vectors.
+func Dot(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a.Data), len(b.Data)))
+	}
+	s := 0.0
+	for i := range a.Data {
+		s += a.Data[i] * b.Data[i]
+	}
+	return s
+}
+
+// Norm returns the L2 norm of t viewed as a flat vector.
+func Norm(t *Tensor) float64 {
+	return math.Sqrt(Dot(t, t))
+}
+
+// Sum returns the sum of all elements.
+func Sum(t *Tensor) float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func Mean(t *Tensor) float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return Sum(t) / float64(len(t.Data))
+}
+
+// ArgMax returns the index of the first maximal element of a flat tensor.
+func ArgMax(t *Tensor) int {
+	if len(t.Data) == 0 {
+		return -1
+	}
+	best, bestV := 0, t.Data[0]
+	for i, v := range t.Data {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Apply returns a new tensor with f applied to every element.
+func Apply(t *Tensor, f func(float64) float64) *Tensor {
+	out := Zeros(t.Shape...)
+	for i, v := range t.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// MatMul multiplies a (m×k) by b (k×n) producing an m×n tensor. Both inputs
+// must be rank-2. The kernel is a cache-friendly ikj loop over the flat
+// backing slices.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v x %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	out := Zeros(m, n)
+	ad, bd, od := a.Data, b.Data, out.Data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB multiplies a (m×k) by bᵀ where b is (n×k), producing m×n.
+// This avoids materialising the transpose in backward passes.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB requires rank-2 operands, got %v x %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	out := Zeros(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p := range arow {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MatMulTransA multiplies aᵀ (k×m, stored as m×k) by b (m×n), producing k×n.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA requires rank-2 operands, got %v x %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	m2, n := b.Shape[0], b.Shape[1]
+	if m != m2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA outer dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	out := Zeros(k, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		brow := b.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[p*n : (p+1)*n]
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose requires rank-2, got %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := Zeros(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+func checkSame(op string, a, b *Tensor) {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.Shape, b.Shape))
+	}
+}

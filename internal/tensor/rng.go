@@ -1,0 +1,117 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with the distributions the library needs. Every
+// stochastic component takes an explicit *RNG so experiments are exactly
+// reproducible from a single seed.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child generator; use it to give each client
+// or worker its own stream without coupling their draw order.
+func (g *RNG) Split() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform integer in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Normal returns a sample from N(mean, std²).
+func (g *RNG) Normal(mean, std float64) float64 {
+	return mean + std*g.r.NormFloat64()
+}
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle permutes xs uniformly at random in place.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Gamma samples from Gamma(shape, 1) using the Marsaglia–Tsang method.
+// It is the building block for Dirichlet sampling.
+func (g *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("tensor: Gamma requires shape > 0")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := g.Float64()
+		for u == 0 {
+			u = g.Float64()
+		}
+		return g.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := g.r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := g.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet samples a probability vector from Dir(alpha, ..., alpha) of
+// dimension k. Smaller alpha yields more concentrated (heterogeneous)
+// vectors; this is the Dir(β) prior used for non-IID client partitions.
+func (g *RNG) Dirichlet(alpha float64, k int) []float64 {
+	p := make([]float64, k)
+	sum := 0.0
+	for i := range p {
+		p[i] = g.Gamma(alpha)
+		sum += p[i]
+	}
+	if sum == 0 {
+		// Degenerate draw (possible for very small alpha): fall back to a
+		// one-hot vector at a uniform index.
+		p[g.Intn(k)] = 1
+		return p
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// Randn fills a fresh tensor of the given shape with N(0, std²) samples.
+func (g *RNG) Randn(std float64, shape ...int) *Tensor {
+	t := Zeros(shape...)
+	for i := range t.Data {
+		t.Data[i] = g.Normal(0, std)
+	}
+	return t
+}
+
+// Uniform fills a fresh tensor with samples from U[lo, hi).
+func (g *RNG) Uniform(lo, hi float64, shape ...int) *Tensor {
+	t := Zeros(shape...)
+	for i := range t.Data {
+		t.Data[i] = lo + (hi-lo)*g.Float64()
+	}
+	return t
+}

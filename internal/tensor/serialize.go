@@ -1,0 +1,87 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary wire format for a tensor:
+//
+//	uint32 rank
+//	rank × uint32 dims
+//	numel × float64 (little endian IEEE-754 bits)
+//
+// The format exists so the FL communication accountant can measure real
+// payload sizes and so middleware models can be checkpointed.
+
+// WriteTo serialises t to w and returns the number of bytes written.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	hdr := make([]byte, 4*(1+len(t.Shape)))
+	binary.LittleEndian.PutUint32(hdr, uint32(len(t.Shape)))
+	for i, d := range t.Shape {
+		binary.LittleEndian.PutUint32(hdr[4*(i+1):], uint32(d))
+	}
+	k, err := w.Write(hdr)
+	n += int64(k)
+	if err != nil {
+		return n, fmt.Errorf("tensor: write header: %w", err)
+	}
+	buf := make([]byte, 8*len(t.Data))
+	for i, v := range t.Data {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	k, err = w.Write(buf)
+	n += int64(k)
+	if err != nil {
+		return n, fmt.Errorf("tensor: write payload: %w", err)
+	}
+	return n, nil
+}
+
+// ReadFrom deserialises a tensor written by WriteTo, replacing t's shape
+// and data, and returns the number of bytes consumed.
+func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
+	var n int64
+	var rankBuf [4]byte
+	k, err := io.ReadFull(r, rankBuf[:])
+	n += int64(k)
+	if err != nil {
+		return n, fmt.Errorf("tensor: read rank: %w", err)
+	}
+	rank := int(binary.LittleEndian.Uint32(rankBuf[:]))
+	if rank > 16 {
+		return n, fmt.Errorf("tensor: implausible rank %d", rank)
+	}
+	dims := make([]byte, 4*rank)
+	k, err = io.ReadFull(r, dims)
+	n += int64(k)
+	if err != nil {
+		return n, fmt.Errorf("tensor: read dims: %w", err)
+	}
+	shape := make([]int, rank)
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(dims[4*i:]))
+	}
+	numel := Numel(shape)
+	payload := make([]byte, 8*numel)
+	k, err = io.ReadFull(r, payload)
+	n += int64(k)
+	if err != nil {
+		return n, fmt.Errorf("tensor: read payload: %w", err)
+	}
+	data := make([]float64, numel)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	t.Shape = shape
+	t.Data = data
+	return n, nil
+}
+
+// EncodedSize returns the number of bytes WriteTo would emit for t.
+func (t *Tensor) EncodedSize() int64 {
+	return int64(4*(1+len(t.Shape)) + 8*len(t.Data))
+}
