@@ -14,6 +14,11 @@
 //	hist, _ := fedcross.Run(algo, env, fedcross.TinyProfile().Config(1))
 //	fmt.Printf("final accuracy: %.4f\n", hist.Final().TestAcc)
 //
+// Each round's client-local training fans out across all CPU cores by
+// default. Config.Parallelism caps the worker pool (1 forces serial
+// execution); every setting produces bit-identical results because each
+// client's RNG stream is split from the simulation seed before dispatch.
+//
 // The package re-exports the stable surface of the internal packages via
 // type aliases, so all methods documented there apply unchanged.
 package fedcross

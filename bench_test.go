@@ -11,7 +11,9 @@ package fedcross
 // cmd/fedsim -profile paper.
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"fedcross/internal/core"
@@ -318,6 +320,44 @@ func BenchmarkTheory_Bound(b *testing.B) {
 		last := res.Gap[len(res.Gap)-1]
 		b.ReportMetric(last, "final_gap")
 		b.ReportMetric(a.Bound(100*a.E), "theorem1_bound")
+	}
+}
+
+// BenchmarkRoundParallel measures the worker-pool round engine: the same
+// FedCross run at Parallelism=1 (the old strictly serial engine) and at
+// every core. The runs produce bit-identical histories — see
+// TestParallelismInvariance — so the ratio of the two timings is pure
+// speedup.
+func BenchmarkRoundParallel(b *testing.B) {
+	prof := experiments.TinyProfile()
+	prof.Rounds = 4
+	prof.EvalEvery = 0
+	prof.NumClients = 16
+	prof.ClientsPerRound = 8
+	cases := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel-%d", runtime.NumCPU()), runtime.NumCPU()},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			prof.Parallelism = bc.workers
+			env, err := prof.BuildEnv("vision10", "cnn", data.Heterogeneity{Beta: 0.5}, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				algo := core.MustNew(core.DefaultOptions())
+				hist, err := fl.Run(algo, env, prof.Config(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(hist.Final().TestAcc, "final_acc")
+			}
+		})
 	}
 }
 

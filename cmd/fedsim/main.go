@@ -7,9 +7,12 @@
 //	fedsim -experiment table2 -profile tiny   # accuracy grid slice
 //	fedsim -experiment fig5 -profile small -models cnn,resnet
 //	fedsim -experiment all -profile tiny
+//	fedsim -experiment table2 -parallel 1     # force serial rounds (same results)
 //
 // Profiles: tiny (seconds), small (minutes), paper (the scaled
-// paper-shaped setup; hours for the full grid).
+// paper-shaped setup; hours for the full grid). Client-local training
+// fans out across all cores by default; -parallel caps the worker count
+// without changing any result (randomness is pre-split per client).
 package main
 
 import (
@@ -35,6 +38,7 @@ func main() {
 		alphas     = flag.String("alphas", "0.5,0.8,0.9,0.95,0.99,0.999", "comma-separated alphas for table3/fig8")
 		rounds     = flag.Int("rounds", 0, "override the profile's round count (0 keeps profile default)")
 		seeds      = flag.Int("seeds", 0, "override the number of seeds (0 keeps profile default)")
+		parallel   = flag.Int("parallel", 0, "worker goroutines for client training/eval (0 = all cores, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -45,6 +49,10 @@ func main() {
 	if *rounds > 0 {
 		prof.Rounds = *rounds
 	}
+	if *parallel < 0 {
+		fatal(fmt.Errorf("-parallel %d must be non-negative", *parallel))
+	}
+	prof.Parallelism = *parallel
 	if *seeds > 0 {
 		prof.Seeds = prof.Seeds[:0]
 		for s := 1; s <= *seeds; s++ {

@@ -1,0 +1,3 @@
+module fedcross
+
+go 1.24

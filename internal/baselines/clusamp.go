@@ -151,26 +151,19 @@ func cosine(x, y nn.ParamVector) float64 {
 	return x.Dot(y) / (nx * ny)
 }
 
-// Round trains the selected clients FedAvg-style and remembers each
-// client's update direction for future clustering.
+// Round trains the selected clients FedAvg-style on the worker pool and
+// remembers each client's update direction for future clustering (the
+// gradient memory is refreshed in selection order during the reduce).
 func (a *CluSamp) Round(r int, selected []int) error {
-	var uploads []nn.ParamVector
-	var weights []float64
-	for _, ci := range selected {
-		if ci < 0 {
-			continue
-		}
-		res, err := fl.TrainLocal(a.env.Model, a.env.Fed.Clients[ci], fl.LocalSpec{
-			Init: a.global, Epochs: a.cfg.LocalEpochs, BatchSize: a.cfg.BatchSize,
-			LR: a.cfg.LR, Momentum: a.cfg.Momentum,
-		}, a.rng.Split())
-		if err != nil {
-			return fmt.Errorf("baselines: clusamp round %d client %d: %w", r, ci, err)
-		}
-		a.updates[ci] = res.Params.Sub(a.global)
-		uploads = append(uploads, res.Params)
-		weights = append(weights, float64(res.Samples))
+	jobs := selectedJobs(a.cfg, a.rng, a.global, selected, fl.LocalSpec{})
+	results, err := fl.TrainAll(a.env, jobs, a.cfg.Workers())
+	if err != nil {
+		return fmt.Errorf("baselines: clusamp round %d: %w", r, err)
 	}
+	for j, res := range results {
+		a.updates[jobs[j].Client] = res.Params.Sub(a.global)
+	}
+	uploads, weights := uploadsAndWeights(results)
 	if len(uploads) == 0 {
 		return nil
 	}

@@ -62,27 +62,52 @@ func (a *FedAvg) RoundComm(k int) fl.CommProfile {
 
 // trainSelected runs local training from init on every surviving selected
 // client, applying the extra LocalSpec hooks (Prox/ProxRef/GradCorrection
-// are taken from hooks; the loop fills in the shared fields). It returns
-// the uploaded vectors and their sample-count weights.
+// are taken from hooks; the loop fills in the shared fields). Training
+// fans out over the worker pool; RNG splits happen serially in selection
+// order beforehand, so results do not depend on the worker count. It
+// returns the uploaded vectors and their sample-count weights.
 func trainSelected(env *fl.Env, cfg fl.Config, rng *tensor.RNG, init nn.ParamVector, selected []int, hooks fl.LocalSpec) ([]nn.ParamVector, []float64, error) {
-	var uploads []nn.ParamVector
-	var weights []float64
+	jobs := selectedJobs(cfg, rng, init, selected, hooks)
+	results, err := fl.TrainAll(env, jobs, cfg.Workers())
+	if err != nil {
+		return nil, nil, err
+	}
+	uploads, weights := uploadsAndWeights(results)
+	return uploads, weights, nil
+}
+
+// uploadsAndWeights unpacks training results into the parameter vectors
+// and sample-count weights that FedAvg-style aggregation consumes.
+func uploadsAndWeights(results []fl.LocalResult) ([]nn.ParamVector, []float64) {
+	uploads := make([]nn.ParamVector, 0, len(results))
+	weights := make([]float64, 0, len(results))
+	for _, res := range results {
+		uploads = append(uploads, res.Params)
+		weights = append(weights, float64(res.Samples))
+	}
+	return uploads, weights
+}
+
+// selectedJobs builds the per-client job list for the surviving selected
+// clients: shared hyper-parameters from cfg, algorithm hooks from hooks,
+// and one RNG split per job drawn in selection order.
+func selectedJobs(cfg fl.Config, rng *tensor.RNG, init nn.ParamVector, selected []int, hooks fl.LocalSpec) []fl.LocalJob {
+	survivors := make([]int, 0, len(selected))
 	for _, ci := range selected {
-		if ci < 0 {
-			continue // dropped client
+		if ci >= 0 { // skip dropped clients
+			survivors = append(survivors, ci)
 		}
+	}
+	rngs := rng.SplitN(len(survivors))
+	jobs := make([]fl.LocalJob, len(survivors))
+	for i, ci := range survivors {
 		spec := hooks
 		spec.Init = init
 		spec.Epochs = cfg.LocalEpochs
 		spec.BatchSize = cfg.BatchSize
 		spec.LR = cfg.LR
 		spec.Momentum = cfg.Momentum
-		res, err := fl.TrainLocal(env.Model, env.Fed.Clients[ci], spec, rng.Split())
-		if err != nil {
-			return nil, nil, fmt.Errorf("client %d: %w", ci, err)
-		}
-		uploads = append(uploads, res.Params)
-		weights = append(weights, float64(res.Samples))
+		jobs[i] = fl.LocalJob{Client: ci, Spec: spec, RNG: rngs[i]}
 	}
-	return uploads, weights, nil
+	return jobs
 }

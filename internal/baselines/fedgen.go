@@ -96,25 +96,32 @@ func (a *FedGen) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
 }
 
 // Round trains clients on generator-augmented shards, aggregates, then
-// refreshes the generator against the new upload ensemble.
+// refreshes the generator against the new upload ensemble. Shard
+// augmentation draws from the algorithm RNG, so it stays in the serial
+// job-preparation loop (in selection order, interleaved with the RNG
+// splits exactly as the serial engine drew them); only the training
+// itself fans out over the worker pool.
 func (a *FedGen) Round(r int, selected []int) error {
-	var uploads []nn.ParamVector
-	var weights []float64
+	jobs := make([]fl.LocalJob, 0, len(selected))
 	for _, ci := range selected {
 		if ci < 0 {
 			continue
 		}
-		shard := a.augmented(a.env.Fed.Clients[ci])
-		res, err := fl.TrainLocal(a.env.Model, shard, fl.LocalSpec{
-			Init: a.global, Epochs: a.cfg.LocalEpochs, BatchSize: a.cfg.BatchSize,
-			LR: a.cfg.LR, Momentum: a.cfg.Momentum,
-		}, a.rng.Split())
-		if err != nil {
-			return fmt.Errorf("baselines: fedgen round %d client %d: %w", r, ci, err)
-		}
-		uploads = append(uploads, res.Params)
-		weights = append(weights, float64(res.Samples))
+		jobs = append(jobs, fl.LocalJob{
+			Client: ci,
+			Shard:  a.augmented(a.env.Fed.Clients[ci]),
+			Spec: fl.LocalSpec{
+				Init: a.global, Epochs: a.cfg.LocalEpochs, BatchSize: a.cfg.BatchSize,
+				LR: a.cfg.LR, Momentum: a.cfg.Momentum,
+			},
+			RNG: a.rng.Split(),
+		})
 	}
+	results, err := fl.TrainAll(a.env, jobs, a.cfg.Workers())
+	if err != nil {
+		return fmt.Errorf("baselines: fedgen round %d: %w", r, err)
+	}
+	uploads, weights := uploadsAndWeights(results)
 	if len(uploads) == 0 {
 		return nil
 	}

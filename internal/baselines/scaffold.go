@@ -42,12 +42,14 @@ func (a *SCAFFOLD) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
 	return nil
 }
 
-// Round implements the SCAFFOLD round with server step size 1.
+// Round implements the SCAFFOLD round with server step size 1. Local
+// training fans out over the worker pool: the per-client corrections and
+// RNG splits are prepared serially from the pre-round state (c and the cᵢ
+// only change in the reduce below), then the variate refreshes fold back
+// in selection order.
 func (a *SCAFFOLD) Round(r int, selected []int) error {
 	n := len(a.global)
-	var modelDeltaSum, variateDeltaSum nn.ParamVector
-	participants := 0
-
+	jobs := make([]fl.LocalJob, 0, len(selected))
 	for _, ci := range selected {
 		if ci < 0 {
 			continue
@@ -56,13 +58,24 @@ func (a *SCAFFOLD) Round(r int, selected []int) error {
 			a.ci[ci] = make(nn.ParamVector, n)
 		}
 		corr := a.c.Sub(a.ci[ci])
-		res, err := fl.TrainLocal(a.env.Model, a.env.Fed.Clients[ci], fl.LocalSpec{
-			Init: a.global, Epochs: a.cfg.LocalEpochs, BatchSize: a.cfg.BatchSize,
-			LR: a.cfg.LR, Momentum: a.cfg.Momentum, GradCorrection: corr,
-		}, a.rng.Split())
-		if err != nil {
-			return fmt.Errorf("baselines: scaffold round %d client %d: %w", r, ci, err)
-		}
+		jobs = append(jobs, fl.LocalJob{
+			Client: ci,
+			Spec: fl.LocalSpec{
+				Init: a.global, Epochs: a.cfg.LocalEpochs, BatchSize: a.cfg.BatchSize,
+				LR: a.cfg.LR, Momentum: a.cfg.Momentum, GradCorrection: corr,
+			},
+			RNG: a.rng.Split(),
+		})
+	}
+	results, err := fl.TrainAll(a.env, jobs, a.cfg.Workers())
+	if err != nil {
+		return fmt.Errorf("baselines: scaffold round %d: %w", r, err)
+	}
+
+	var modelDeltaSum, variateDeltaSum nn.ParamVector
+	participants := 0
+	for j, res := range results {
+		ci := jobs[j].Client
 		if res.Steps == 0 {
 			continue
 		}

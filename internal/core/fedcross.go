@@ -194,27 +194,39 @@ func (f *FedCross) Round(r int, selected []int) error {
 		assign = f.rng.Perm(k)
 	}
 
-	// Local training. A dropped client (-1) leaves its middleware model
-	// untrained this round (v_i = w_i), the natural fault-tolerant reading
-	// of Algorithm 1.
-	uploads := make([]nn.ParamVector, k)
+	// Local training, fanned out over the worker pool. Jobs are prepared
+	// serially — the per-client RNG splits happen here, in slot order, so
+	// the streams are identical at every parallelism level. A dropped
+	// client (-1) leaves its middleware model untrained this round
+	// (v_i = w_i), the natural fault-tolerant reading of Algorithm 1.
+	jobs := make([]fl.LocalJob, 0, k)
+	slots := make([]int, 0, k)
 	for i := 0; i < k; i++ {
 		ci := selected[assign[i]]
 		if ci < 0 {
-			uploads[i] = f.middleware[i]
 			continue
 		}
-		res, err := fl.TrainLocal(f.env.Model, f.env.Fed.Clients[ci], fl.LocalSpec{
-			Init:      f.middleware[i],
-			Epochs:    f.cfg.LocalEpochs,
-			BatchSize: f.cfg.BatchSize,
-			LR:        f.cfg.LR,
-			Momentum:  f.cfg.Momentum,
-		}, f.rng.Split())
-		if err != nil {
-			return fmt.Errorf("core: FedCross round %d client %d: %w", r, ci, err)
-		}
-		uploads[i] = res.Params
+		jobs = append(jobs, fl.LocalJob{
+			Client: ci,
+			Spec: fl.LocalSpec{
+				Init:      f.middleware[i],
+				Epochs:    f.cfg.LocalEpochs,
+				BatchSize: f.cfg.BatchSize,
+				LR:        f.cfg.LR,
+				Momentum:  f.cfg.Momentum,
+			},
+			RNG: f.rng.Split(),
+		})
+		slots = append(slots, i)
+	}
+	results, err := fl.TrainAll(f.env, jobs, f.cfg.Workers())
+	if err != nil {
+		return fmt.Errorf("core: FedCross round %d: %w", r, err)
+	}
+	uploads := make([]nn.ParamVector, k)
+	copy(uploads, f.middleware) // untrained slots upload their model as-is
+	for j, res := range results {
+		uploads[slots[j]] = res.Params
 	}
 
 	f.middleware = f.aggregate(r, uploads)

@@ -37,6 +37,10 @@ type Profile struct {
 	EvalEvery int
 	// Seeds are the independent repetitions behind mean±std cells.
 	Seeds []int64
+	// Parallelism caps the training/evaluation worker goroutines per run
+	// (fl.Config.Parallelism): 0 uses every core, 1 forces serial
+	// execution. Results are identical either way.
+	Parallelism int
 }
 
 // TinyProfile sizes experiments for unit tests and testing.B benches:
@@ -97,6 +101,7 @@ func (p Profile) Config(seed int64) fl.Config {
 		Momentum:        p.Momentum,
 		EvalEvery:       p.EvalEvery,
 		Seed:            seed,
+		Parallelism:     p.Parallelism,
 	}
 }
 

@@ -8,6 +8,7 @@ package fl
 
 import (
 	"fmt"
+	"runtime"
 
 	"fedcross/internal/data"
 	"fedcross/internal/models"
@@ -36,6 +37,14 @@ type Config struct {
 	// Seed drives all simulation randomness (selection, shuffles, local
 	// batching).
 	Seed int64
+	// Parallelism caps the worker goroutines a simulation run uses for
+	// client-local training and its periodic evaluation. 0 (the default)
+	// uses runtime.NumCPU(); 1 reproduces strictly serial execution.
+	// Results are bit-identical at every setting: per-client RNG streams
+	// are pre-split before dispatch, so scheduling never influences
+	// randomness. (The standalone Evaluate/EvaluatePerClient helpers
+	// take no Config and always use every core.)
+	Parallelism int
 }
 
 // DefaultConfig returns the paper-mirroring configuration at test scale.
@@ -69,8 +78,19 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fl: Momentum = %v, must be in [0,1)", c.Momentum)
 	case c.DropoutRate < 0 || c.DropoutRate >= 1:
 		return fmt.Errorf("fl: DropoutRate = %v, must be in [0,1)", c.DropoutRate)
+	case c.Parallelism < 0:
+		return fmt.Errorf("fl: Parallelism = %d, must be non-negative", c.Parallelism)
 	}
 	return nil
+}
+
+// Workers resolves Parallelism to an effective worker count: the
+// configured value, or runtime.NumCPU() when unset.
+func (c Config) Workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.NumCPU()
 }
 
 // Env bundles the federated dataset with the model architecture under

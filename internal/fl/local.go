@@ -2,6 +2,7 @@ package fl
 
 import (
 	"fmt"
+	"sync"
 
 	"fedcross/internal/data"
 	"fedcross/internal/models"
@@ -117,28 +118,51 @@ func applyHooks(params, grads []*tensor.Tensor, spec LocalSpec) {
 }
 
 // Evaluate computes test accuracy and mean loss of the parameter vector on
-// ds, batching for memory locality.
+// ds, batching for memory locality. Batches are evaluated across all CPU
+// cores; the per-batch partial sums are reduced in batch order, so the
+// result is bit-identical to a serial pass.
 func Evaluate(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, batchSize int) (acc, loss float64, err error) {
+	return evaluate(factory, vec, ds, batchSize, 0)
+}
+
+// evaluate is Evaluate with an explicit worker budget (0 means all cores,
+// 1 means serial — used by EvaluatePerClient, which parallelises one
+// level up, over clients).
+func evaluate(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, batchSize, workers int) (acc, loss float64, err error) {
 	if ds.Len() == 0 {
 		return 0, 0, fmt.Errorf("fl: Evaluate: empty dataset")
 	}
 	if batchSize <= 0 {
 		batchSize = 64
 	}
-	net := factory.New(tensor.NewRNG(0))
-	if err := nn.LoadParams(net.Params(), vec); err != nil {
+	// Build one net eagerly to surface shape mismatches, then share it
+	// through a pool: forward passes mutate layer activations, so each
+	// in-flight batch needs its own instance, but idle instances can be
+	// reused across batches exactly as the serial loop reused its one net.
+	first := factory.New(tensor.NewRNG(0))
+	if err := nn.LoadParams(first.Params(), vec); err != nil {
 		return 0, 0, fmt.Errorf("fl: Evaluate: %w", err)
 	}
-	correctWeighted := 0.0
-	lossWeighted := 0.0
+	netPool := sync.Pool{New: func() any {
+		net := factory.New(tensor.NewRNG(0))
+		_ = nn.LoadParams(net.Params(), vec) // length verified above
+		return net
+	}}
+	netPool.Put(first)
+
 	n := ds.Len()
-	idx := make([]int, 0, batchSize)
-	for start := 0; start < n; start += batchSize {
+	numBatches := (n + batchSize - 1) / batchSize
+	accW := make([]float64, numBatches)
+	lossW := make([]float64, numBatches)
+	parallelFor(numBatches, workers, func(b int) {
+		net := netPool.Get().(*nn.Sequential)
+		defer netPool.Put(net)
+		start := b * batchSize
 		end := start + batchSize
 		if end > n {
 			end = n
 		}
-		idx = idx[:0]
+		idx := make([]int, 0, end-start)
 		for i := start; i < end; i++ {
 			idx = append(idx, i)
 		}
@@ -147,8 +171,14 @@ func Evaluate(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, batc
 		l, _ := nn.SoftmaxCrossEntropy(logits, y)
 		a := nn.Accuracy(logits, y)
 		w := float64(len(y))
-		correctWeighted += a * w
-		lossWeighted += l * w
+		accW[b] = a * w
+		lossW[b] = l * w
+	})
+	correctWeighted := 0.0
+	lossWeighted := 0.0
+	for b := 0; b < numBatches; b++ {
+		correctWeighted += accW[b]
+		lossWeighted += lossW[b]
 	}
 	return correctWeighted / float64(n), lossWeighted / float64(n), nil
 }

@@ -31,10 +31,31 @@ type PerClientReport struct {
 }
 
 // EvaluatePerClient measures the model on every client's local data.
+// Clients are evaluated in parallel across all CPU cores (each worker
+// runs a serial per-client pass); the report is reduced in client order,
+// so the result is identical to a serial sweep.
 func EvaluatePerClient(env *Env, vec nn.ParamVector, batchSize int) (*PerClientReport, error) {
-	if env.NumClients() == 0 {
+	n := env.NumClients()
+	if n == 0 {
 		return nil, fmt.Errorf("fl: EvaluatePerClient: no clients")
 	}
+	clientAccs := make([]float64, n)
+	err := parallelForErr(n, 0, func(ci int) error {
+		shard := env.Fed.Clients[ci]
+		if shard.Len() == 0 {
+			return nil
+		}
+		acc, _, err := evaluate(env.Model, vec, shard, batchSize, 1)
+		if err != nil {
+			return fmt.Errorf("fl: EvaluatePerClient client %d: %w", ci, err)
+		}
+		clientAccs[ci] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &PerClientReport{Worst: math.Inf(1)}
 	totalSamples := 0
 	var accs []float64
@@ -42,10 +63,7 @@ func EvaluatePerClient(env *Env, vec nn.ParamVector, batchSize int) (*PerClientR
 		if shard.Len() == 0 {
 			continue
 		}
-		acc, _, err := Evaluate(env.Model, vec, shard, batchSize)
-		if err != nil {
-			return nil, fmt.Errorf("fl: EvaluatePerClient client %d: %w", ci, err)
-		}
+		acc := clientAccs[ci]
 		rep.Evals = append(rep.Evals, ClientEval{Client: ci, Acc: acc, Samples: shard.Len()})
 		rep.Mean += acc * float64(shard.Len())
 		totalSamples += shard.Len()

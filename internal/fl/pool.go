@@ -1,0 +1,123 @@
+package fl
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fedcross/internal/data"
+	"fedcross/internal/tensor"
+)
+
+// LocalJob is one client-slot training job prepared by an algorithm for
+// the worker pool. Algorithms build the full job list serially — drawing
+// any randomness they need (assignment shuffles, RNG splits, generated
+// augmentation samples) in their usual order — and then hand the list to
+// TrainAll, which may execute the jobs in any order on any number of
+// goroutines.
+//
+// Determinism contract: every field a job reads during training must be
+// owned by the job (RNG) or immutable for the duration of the round
+// (Spec.Init, Spec.ProxRef, Spec.GradCorrection, the shard). Because the
+// RNG is split before dispatch, a job's training trajectory depends only
+// on the job itself, never on scheduling — so results are bit-identical
+// at every parallelism level.
+type LocalJob struct {
+	// Client indexes env.Fed.Clients; ignored when Shard is set.
+	Client int
+	// Shard, when non-nil, overrides the client's shard (FedGen trains on
+	// generator-augmented copies).
+	Shard *data.Dataset
+	// Spec is the training job; Init and the hook vectors are read-only.
+	Spec LocalSpec
+	// RNG is the job's exclusively-owned generator, pre-split by the
+	// algorithm before dispatch.
+	RNG *tensor.RNG
+}
+
+// TrainAll runs every job's local training across at most workers
+// goroutines (workers <= 0 means runtime.NumCPU()) and returns the
+// results in job order. Any error aborts the round: in-flight jobs
+// finish, unstarted jobs are skipped, and the error with the lowest job
+// index among those that actually failed is returned.
+func TrainAll(env *Env, jobs []LocalJob, workers int) ([]LocalResult, error) {
+	results := make([]LocalResult, len(jobs))
+	err := parallelForErr(len(jobs), workers, func(i int) error {
+		job := jobs[i]
+		shard := job.Shard
+		if shard == nil {
+			shard = env.Fed.Clients[job.Client]
+		}
+		res, err := TrainLocal(env.Model, shard, job.Spec, job.RNG)
+		if err != nil {
+			return fmt.Errorf("client %d: %w", job.Client, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// parallelForErr runs fn like parallelFor but fails fast: once any
+// iteration returns an error, unstarted iterations are skipped
+// (in-flight ones finish), and the lowest-index error among the
+// iterations that actually ran is returned.
+func parallelForErr(n, workers int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var failed atomic.Bool
+	parallelFor(n, workers, func(i int) {
+		if failed.Load() {
+			return
+		}
+		if err := fn(i); err != nil {
+			errs[i] = err
+			failed.Store(true)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parallelFor runs fn(i) for every i in [0,n) across at most workers
+// goroutines (workers <= 0 means runtime.NumCPU()). Iterations are
+// claimed from a shared atomic counter, so the call balances uneven job
+// costs; it returns once every iteration has finished. fn must be safe to
+// call concurrently for distinct i.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -8,6 +8,13 @@ import (
 // RNG wraps math/rand with the distributions the library needs. Every
 // stochastic component takes an explicit *RNG so experiments are exactly
 // reproducible from a single seed.
+//
+// Concurrency contract: an RNG is NOT safe for concurrent use. The
+// supported pattern for parallel work is to Split (or SplitN) children
+// from a single goroutine *before* dispatch and hand each worker exclusive
+// ownership of its child. Because a child's seed is fixed at split time,
+// the streams the workers consume are independent of scheduling, which is
+// what makes parallel runs bit-identical to serial ones.
 type RNG struct {
 	r *rand.Rand
 }
@@ -21,6 +28,18 @@ func NewRNG(seed int64) *RNG {
 // or worker its own stream without coupling their draw order.
 func (g *RNG) Split() *RNG {
 	return NewRNG(g.r.Int63())
+}
+
+// SplitN derives n independent children in one call, in order. It is the
+// pre-dispatch half of the concurrency contract above: call it serially,
+// then move each child to its worker. SplitN(n) consumes exactly n draws
+// from g, the same as n consecutive Split calls.
+func (g *RNG) SplitN(n int) []*RNG {
+	children := make([]*RNG, n)
+	for i := range children {
+		children[i] = g.Split()
+	}
+	return children
 }
 
 // Float64 returns a uniform sample in [0,1).

@@ -492,3 +492,22 @@ func TestNormProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSplitNMatchesConsecutiveSplits(t *testing.T) {
+	// SplitN(n) must consume exactly the draws of n Split calls and seed
+	// identical children — algorithms rely on this when they batch their
+	// per-client pre-dispatch splits.
+	a, b := NewRNG(7), NewRNG(7)
+	children := a.SplitN(5)
+	for i := 0; i < 5; i++ {
+		want := b.Split()
+		for d := 0; d < 3; d++ {
+			if got, w := children[i].Int63(), want.Int63(); got != w {
+				t.Fatalf("child %d draw %d: SplitN stream %d != Split stream %d", i, d, got, w)
+			}
+		}
+	}
+	if a.Int63() != b.Int63() {
+		t.Fatal("SplitN consumed a different number of parent draws than n Splits")
+	}
+}

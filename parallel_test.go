@@ -1,0 +1,84 @@
+package fedcross
+
+import (
+	"reflect"
+	"testing"
+)
+
+// invarianceProfile sizes the determinism runs: small enough that twelve
+// full simulations finish in seconds, large enough that every algorithm
+// takes real SGD steps on several clients per round.
+func invarianceProfile() Profile {
+	p := TinyProfile()
+	p.Rounds = 3
+	p.EvalEvery = 1
+	p.NumClients = 8
+	p.ClientsPerRound = 4
+	p.VisionTrainPerClass = 16
+	p.VisionTestPerClass = 6
+	return p
+}
+
+// TestParallelismInvariance pins the worker pool's determinism contract:
+// for every one of the six algorithms, the same seed produces a
+// byte-identical History whether the round engine runs on one worker or
+// eight. Per-client RNG streams are split before dispatch, so scheduling
+// must never leak into results.
+func TestParallelismInvariance(t *testing.T) {
+	for _, name := range AlgorithmNames() {
+		t.Run(name, func(t *testing.T) {
+			histories := make([]*History, 2)
+			for i, workers := range []int{1, 8} {
+				prof := invarianceProfile()
+				prof.Parallelism = workers
+				env, err := prof.BuildEnv("vision10", "mlp", Heterogeneity{Beta: 0.5}, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				algo, err := NewAlgorithm(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := prof.Config(1)
+				cfg.DropoutRate = 0.2 // exercise the dropped-client paths too
+				hist, err := Run(algo, env, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				histories[i] = hist
+			}
+			if !reflect.DeepEqual(histories[0], histories[1]) {
+				t.Fatalf("%s: history differs between Parallelism=1 and Parallelism=8:\nserial:   %+v\nparallel: %+v",
+					name, histories[0], histories[1])
+			}
+		})
+	}
+}
+
+// TestEvaluatePerClientParallelism pins the fairness report's determinism:
+// the per-client sweep runs on the pool but must reduce in client order.
+func TestEvaluatePerClientParallelism(t *testing.T) {
+	prof := invarianceProfile()
+	env, err := prof.BuildEnv("vision10", "mlp", Heterogeneity{Beta: 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, err := NewFedCross(DefaultFedCrossOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(algo, env, prof.Config(1)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := EvaluatePerClient(env, algo.Global(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluatePerClient(env, algo.Global(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("EvaluatePerClient is not deterministic:\n%+v\n%+v", a, b)
+	}
+}
