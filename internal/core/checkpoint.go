@@ -24,12 +24,38 @@ import (
 
 const checkpointMagic = 0x46435253
 
-// Save serialises the middleware models to w.
+// Load hardening limits. The header is untrusted input: k and n must be
+// validated (including their product) before any payload-sized allocation,
+// or a 20-byte stream could demand a multi-GiB buffer.
+const (
+	// maxCheckpointModels caps the middleware-model count k.
+	maxCheckpointModels = 1 << 16
+	// maxCheckpointParams caps the per-model parameter count n.
+	maxCheckpointParams = 1 << 27
+	// maxCheckpointBytes caps the total declared payload k·n·8.
+	maxCheckpointBytes = 1 << 31
+	// loadChunkBytes bounds the read granularity so allocation grows with
+	// bytes actually present on the stream.
+	loadChunkBytes = 1 << 20
+)
+
+// Save serialises the middleware models to w. It enforces the same
+// limits as Load, so every checkpoint Save emits is guaranteed to be
+// restorable — oversized state fails at save time, not at restore time.
 func (f *FedCross) Save(w io.Writer) error {
 	if len(f.middleware) == 0 {
 		return fmt.Errorf("core: Save: FedCross not initialised")
 	}
 	n := len(f.middleware[0])
+	if k := len(f.middleware); k > maxCheckpointModels {
+		return fmt.Errorf("core: Save: %d middleware models exceed the checkpoint limit %d", k, maxCheckpointModels)
+	}
+	if n == 0 || n > maxCheckpointParams {
+		return fmt.Errorf("core: Save: %d params per model outside the checkpoint limit (1, %d]", n, maxCheckpointParams)
+	}
+	if int64(len(f.middleware))*int64(n)*8 > maxCheckpointBytes {
+		return fmt.Errorf("core: Save: %d×%d params exceed the %d-byte checkpoint cap", len(f.middleware), n, int64(maxCheckpointBytes))
+	}
 	hdr := make([]byte, 16)
 	binary.LittleEndian.PutUint32(hdr[0:], checkpointMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(f.middleware)))
@@ -65,22 +91,36 @@ func (f *FedCross) Load(r io.Reader) error {
 		return fmt.Errorf("core: Load: bad magic %#x", got)
 	}
 	k := int(binary.LittleEndian.Uint32(hdr[4:]))
-	n := int(binary.LittleEndian.Uint64(hdr[8:]))
-	if k < 2 || k > 1<<20 {
+	nRaw := binary.LittleEndian.Uint64(hdr[8:])
+	if k < 2 || k > maxCheckpointModels {
 		return fmt.Errorf("core: Load: implausible middleware count %d", k)
 	}
-	if n <= 0 || n > 1<<34 {
-		return fmt.Errorf("core: Load: implausible parameter count %d", n)
+	if nRaw == 0 || nRaw > maxCheckpointParams {
+		return fmt.Errorf("core: Load: implausible parameter count %d", nRaw)
+	}
+	n := int(nRaw)
+	// k ≤ 2¹⁶ and n ≤ 2²⁷, so k·n·8 cannot overflow int64; cap the total.
+	if int64(k)*int64(n)*8 > maxCheckpointBytes {
+		return fmt.Errorf("core: Load: declared payload %d×%d params exceeds %d-byte cap", k, n, int64(maxCheckpointBytes))
 	}
 	mid := make([]nn.ParamVector, k)
-	buf := make([]byte, 8*n)
+	buf := make([]byte, min(8*n, loadChunkBytes))
 	for i := range mid {
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return fmt.Errorf("core: Load model %d: %w", i, err)
-		}
-		v := make(nn.ParamVector, n)
-		for j := range v {
-			v[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		// Decode in bounded chunks, growing the vector as bytes actually
+		// arrive: a truncated or lying stream fails having allocated at
+		// most one chunk beyond the data received.
+		v := make(nn.ParamVector, 0, min(n, loadChunkBytes/8))
+		for len(v) < n {
+			want := 8 * (n - len(v))
+			if want > len(buf) {
+				want = len(buf)
+			}
+			if _, err := io.ReadFull(r, buf[:want]); err != nil {
+				return fmt.Errorf("core: Load model %d: %w", i, err)
+			}
+			for off := 0; off < want; off += 8 {
+				v = append(v, math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])))
+			}
 		}
 		mid[i] = v
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"fedcross/internal/data"
@@ -88,6 +89,55 @@ func TestCheckpointErrors(t *testing.T) {
 	// Empty stream.
 	if err := MustNew(DefaultOptions()).Load(bytes.NewReader(nil)); err == nil {
 		t.Fatal("empty checkpoint must error")
+	}
+}
+
+// checkpointHeader builds a raw 16-byte header with the given counts.
+func checkpointHeader(magic, k uint32, n uint64) []byte {
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], k)
+	binary.LittleEndian.PutUint64(hdr[8:], n)
+	return hdr
+}
+
+// TestLoadRejectsHostileHeaders is the regression test for the unbounded
+// header-driven allocation: Load used to accept n up to 2³⁴ and allocate
+// 8·n bytes before reading any payload, so a 20-byte stream could demand
+// multiple GiB. Every hostile header must be rejected from the 16 header
+// bytes alone.
+func TestLoadRejectsHostileHeaders(t *testing.T) {
+	cases := []struct {
+		name string
+		hdr  []byte
+	}{
+		{"huge-n", checkpointHeader(checkpointMagic, 2, 1<<34)},
+		{"max-uint64-n", checkpointHeader(checkpointMagic, 2, ^uint64(0))},
+		{"zero-n", checkpointHeader(checkpointMagic, 2, 0)},
+		{"huge-k", checkpointHeader(checkpointMagic, 1<<31, 16)},
+		{"one-model", checkpointHeader(checkpointMagic, 1, 16)},
+		{"product-over-cap", checkpointHeader(checkpointMagic, 1<<16, 1<<26)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := MustNew(DefaultOptions())
+			if err := f.Load(bytes.NewReader(c.hdr)); err == nil {
+				t.Fatalf("hostile header %q must be rejected", c.name)
+			}
+			if f.middleware != nil {
+				t.Fatal("failed Load must not install partial state")
+			}
+		})
+	}
+}
+
+// TestLoadTruncatedAfterPlausibleHeader checks that a header passing
+// validation but followed by a short payload fails with bounded work —
+// the chunked reader stops at the actual stream end.
+func TestLoadTruncatedAfterPlausibleHeader(t *testing.T) {
+	raw := append(checkpointHeader(checkpointMagic, 8, 1<<20), make([]byte, 4096)...)
+	if err := MustNew(DefaultOptions()).Load(bytes.NewReader(raw)); err == nil {
+		t.Fatal("truncated payload must error")
 	}
 }
 

@@ -400,7 +400,8 @@ func TestPropellerAggrUsesMeanOfPeers(t *testing.T) {
 	opts.Alpha = 0.5
 	f := MustNew(opts)
 	uploads := []nn.ParamVector{{0, 0}, {2, 0}, {0, 2}, {2, 2}}
-	got := f.propellerAggr(0, 0, uploads, 0.5)
+	got := make(nn.ParamVector, len(uploads[0]))
+	f.propellerAggrTo(got, 0, 0, uploads, 0.5)
 	// In-order propellers for i=0, r=0..1, K=4: offsets (0%3+1)=1 and
 	// (1%3+1)=2 -> models 1 and 2; mean = (1,1); result = 0.5*(0,0)+0.5*(1,1).
 	if math.Abs(got[0]-0.5) > 1e-12 || math.Abs(got[1]-0.5) > 1e-12 {
@@ -409,7 +410,8 @@ func TestPropellerAggrUsesMeanOfPeers(t *testing.T) {
 	// PropellerCount capped at K-1.
 	opts.PropellerCount = 99
 	g := MustNew(opts)
-	res := g.propellerAggr(0, 0, uploads, 0.5)
+	res := make(nn.ParamVector, len(uploads[0]))
+	g.propellerAggrTo(res, 0, 0, uploads, 0.5)
 	if len(res) != 2 {
 		t.Fatalf("unexpected result %v", res)
 	}

@@ -116,6 +116,10 @@ type FedCross struct {
 
 	// middleware holds the K middleware-model parameter vectors W.
 	middleware []nn.ParamVector
+	// spare is the previous round's middleware storage, recycled as the
+	// destination of the next cross-aggregation so steady-state rounds
+	// allocate no parameter-sized buffers.
+	spare []nn.ParamVector
 }
 
 // New constructs a FedCross instance with the given options.
@@ -170,6 +174,7 @@ func (f *FedCross) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
 	for i := range f.middleware {
 		f.middleware[i] = init.Clone()
 	}
+	f.spare = nil
 	return nil
 }
 
@@ -234,19 +239,33 @@ func (f *FedCross) Round(r int, selected []int) error {
 }
 
 // aggregate applies cross-aggregation (with any active acceleration) to
-// the uploads and returns the next round's middleware list.
+// the uploads and returns the next round's middleware list. The
+// destination vectors are recycled from the round-before-last's
+// middleware storage (f.spare), which nothing references any more: the
+// current round's uploads alias only freshly trained vectors or the
+// *current* middleware list, never the spare one.
 func (f *FedCross) aggregate(r int, uploads []nn.ParamVector) []nn.ParamVector {
 	k := len(uploads)
-	next := make([]nn.ParamVector, k)
+	n := len(uploads[0])
+	next := f.spare
+	if len(next) != k {
+		next = make([]nn.ParamVector, k)
+	}
+	for i := range next {
+		if len(next[i]) != n {
+			next[i] = make(nn.ParamVector, n)
+		}
+	}
+	f.spare = f.middleware
 	alpha := f.effectiveAlpha(r)
 	usePropeller := f.propellerActive(r)
 	for i := 0; i < k; i++ {
 		if usePropeller {
-			next[i] = f.propellerAggr(i, r, uploads, alpha)
+			f.propellerAggrTo(next[i], i, r, uploads, alpha)
 			continue
 		}
 		co := CoModelSel(f.opts.Strategy, i, r, uploads, f.opts.Similarity)
-		next[i] = CrossAggr(uploads[i], uploads[co], alpha)
+		nn.LerpVectorsTo(next[i], uploads[i], uploads[co], alpha)
 	}
 	return next
 }
@@ -293,11 +312,12 @@ func (f *FedCross) propellerActive(r int) bool {
 	}
 }
 
-// propellerAggr fuses upload i with the mean of its P in-order propeller
-// models: α·v_i + (1−α)·mean(propellers). Using several propellers gives
-// each middleware model more knowledge per round, accelerating early
-// training (Section III-D).
-func (f *FedCross) propellerAggr(i, r int, uploads []nn.ParamVector, alpha float64) nn.ParamVector {
+// propellerAggrTo fuses upload i with the mean of its P in-order
+// propeller models into dst: α·v_i + (1−α)·mean(propellers). Using
+// several propellers gives each middleware model more knowledge per
+// round, accelerating early training (Section III-D). The propeller mean
+// is built in dst itself, then lerped against the upload in place.
+func (f *FedCross) propellerAggrTo(dst nn.ParamVector, i, r int, uploads []nn.ParamVector, alpha float64) {
 	k := len(uploads)
 	p := f.opts.PropellerCount
 	if p > k-1 {
@@ -308,7 +328,8 @@ func (f *FedCross) propellerAggr(i, r int, uploads []nn.ParamVector, alpha float
 		j := CoModelSel(InOrder, i, r+step, uploads, nil)
 		props = append(props, uploads[j])
 	}
-	return CrossAggr(uploads[i], nn.MeanVectors(props), alpha)
+	nn.MeanVectorsTo(dst, props)
+	nn.LerpVectorsTo(dst, uploads[i], dst, alpha)
 }
 
 // Global implements fl.Algorithm: the one-shot average of the middleware

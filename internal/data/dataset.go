@@ -54,31 +54,50 @@ func (d *Dataset) Subset(idx []int) *Dataset {
 // Batch copies the rows idx into a (len(idx) × D) tensor plus labels,
 // ready for a forward pass.
 func (d *Dataset) Batch(idx []int) (*tensor.Tensor, []int) {
-	w := d.Features()
-	x := tensor.Zeros(len(idx), w)
+	x := tensor.Zeros(len(idx), d.Features())
 	y := make([]int, len(idx))
+	d.BatchInto(x, y, idx)
+	return x, y
+}
+
+// BatchInto copies the rows idx into caller-owned buffers: x must be
+// (len(idx) × D) and y must have len(idx) entries. It is the
+// zero-allocation form of Batch for reused batch buffers.
+func (d *Dataset) BatchInto(x *tensor.Tensor, y []int, idx []int) {
+	w := d.Features()
+	if x.Rank() != 2 || x.Shape[0] != len(idx) || x.Shape[1] != w || len(y) != len(idx) {
+		panic(fmt.Sprintf("data: BatchInto buffers (%v, %d labels) do not fit %d×%d batch", x.Shape, len(y), len(idx), w))
+	}
 	for i, j := range idx {
 		copy(x.Data[i*w:(i+1)*w], d.X.Data[j*w:(j+1)*w])
 		y[i] = d.Y[j]
 	}
-	return x, y
 }
 
 // Batches splits a fresh random permutation of the dataset into mini
 // batches of size batchSize (the final batch may be smaller) and calls fn
-// for each. It is the training-epoch iterator.
+// for each. It is the training-epoch iterator. The x tensor and y slice
+// passed to fn are reused between invocations and are only valid for the
+// duration of the callback; copy them if they must outlive it.
 func (d *Dataset) Batches(rng *tensor.RNG, batchSize int, fn func(x *tensor.Tensor, y []int)) {
 	if batchSize <= 0 {
 		panic(fmt.Sprintf("data: batch size %d must be positive", batchSize))
 	}
 	perm := rng.Perm(d.Len())
+	w := d.Features()
+	x := tensor.GetScratch(batchSize, w)
+	defer tensor.PutScratch(x)
+	y := make([]int, batchSize)
 	for start := 0; start < len(perm); start += batchSize {
 		end := start + batchSize
 		if end > len(perm) {
 			end = len(perm)
 		}
-		x, y := d.Batch(perm[start:end])
-		fn(x, y)
+		n := end - start
+		bx := tensor.Ensure(x, n, w)
+		by := y[:n]
+		d.BatchInto(bx, by, perm[start:end])
+		fn(bx, by)
 	}
 }
 

@@ -66,11 +66,21 @@ func TrainLocal(factory models.Factory, shard *data.Dataset, spec LocalSpec, rng
 	steps := 0
 	lossSum := 0.0
 
+	// dlogits is the loss-gradient scratch, leased from the arena for the
+	// whole call and resized per batch, so the steady-state SGD loop does
+	// no allocation.
+	var dlogits *tensor.Tensor
+	defer func() { tensor.PutScratch(dlogits) }()
+
 	for epoch := 0; epoch < spec.Epochs; epoch++ {
 		shard.Batches(rng, spec.BatchSize, func(x *tensor.Tensor, y []int) {
 			net.ZeroGrads()
 			logits := net.Forward(x, true)
-			loss, dlogits := nn.SoftmaxCrossEntropy(logits, y)
+			if dlogits == nil {
+				dlogits = tensor.GetScratch(logits.Shape...)
+			}
+			dlogits = tensor.Ensure(dlogits, logits.Shape...)
+			loss := nn.SoftmaxCrossEntropyInto(dlogits, logits, y)
 			net.Backward(dlogits)
 			applyHooks(params, grads, spec)
 			opt.Step(params, grads)

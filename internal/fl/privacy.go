@@ -2,6 +2,7 @@ package fl
 
 import (
 	"fmt"
+	"log"
 
 	"fedcross/internal/nn"
 	"fedcross/internal/tensor"
@@ -47,7 +48,15 @@ type privacyWrapper struct {
 	Algorithm
 	opts PrivacyOptions
 	rng  *tensor.RNG
-	ref  nn.ParamVector // last released model, the clipping anchor
+	ref  nn.ParamVector // raw model at the last release, the clipping anchor
+
+	// released memoizes the round's release: the Gaussian mechanism's
+	// output is a function of the round's training state, so within one
+	// round every Global() call must return the SAME released model.
+	// Drawing fresh noise per call would publish several distinct noisy
+	// views of one model — silently double-spending the privacy budget
+	// whenever a round both evaluates and deploys. Round() invalidates it.
+	released nn.ParamVector
 }
 
 // WithPrivacy wraps algo so that every released global model is clipped
@@ -62,15 +71,48 @@ func WithPrivacy(algo Algorithm, opts PrivacyOptions) (Algorithm, error) {
 // Name implements Algorithm.
 func (p *privacyWrapper) Name() string { return p.Algorithm.Name() + "+dp" }
 
-// Global implements Algorithm: clip the release delta and add noise.
+// Init implements Algorithm: besides initialising the wrapped method, it
+// discards the previous run's memoized release and clipping anchor —
+// stale state from an earlier experiment must not leak into (or clip) the
+// new run's first release.
+func (p *privacyWrapper) Init(env *Env, cfg Config, rng *tensor.RNG) error {
+	p.released = nil
+	p.ref = nil
+	return p.Algorithm.Init(env, cfg, rng)
+}
+
+// Round implements Algorithm: it forwards to the wrapped method and
+// invalidates the memoized release, because the round changed the state
+// the next release is computed from.
+func (p *privacyWrapper) Round(r int, selected []int) error {
+	p.released = nil
+	return p.Algorithm.Round(r, selected)
+}
+
+// Global implements Algorithm: clip the release delta against the previous
+// round's release anchor and add Gaussian noise. The release is memoized
+// per training round — repeated calls (evaluate, then deploy) return
+// copies of the same perturbed model, and the clipping anchor advances
+// exactly once per round.
 func (p *privacyWrapper) Global() nn.ParamVector {
+	if p.released != nil {
+		return p.released.Clone()
+	}
 	raw := p.Algorithm.Global()
 	out := raw.Clone()
-	if p.ref != nil && p.opts.ClipNorm > 0 && len(p.ref) == len(out) {
-		delta := out.Sub(p.ref)
-		if n := delta.Norm(); n > p.opts.ClipNorm {
-			delta = delta.Scale(p.opts.ClipNorm / n)
-			out = p.ref.Add(delta)
+	if p.ref != nil && p.opts.ClipNorm > 0 {
+		if len(p.ref) != len(out) {
+			// A length change means the wrapped algorithm swapped model
+			// architectures mid-run; clipping against the stale anchor is
+			// impossible, which weakens the release's sensitivity bound.
+			// Surface it rather than skipping silently.
+			log.Printf("fl: privacy: clipping skipped: anchor has %d params, release has %d (model changed?)", len(p.ref), len(out))
+		} else {
+			delta := out.Sub(p.ref)
+			if n := delta.Norm(); n > p.opts.ClipNorm {
+				delta = delta.Scale(p.opts.ClipNorm / n)
+				out = p.ref.Add(delta)
+			}
 		}
 	}
 	if p.opts.NoiseStd > 0 {
@@ -79,5 +121,6 @@ func (p *privacyWrapper) Global() nn.ParamVector {
 		}
 	}
 	p.ref = raw
-	return out
+	p.released = out
+	return out.Clone()
 }

@@ -8,7 +8,8 @@ import (
 
 // ReLU is the rectified linear activation, applied elementwise.
 type ReLU struct {
-	mask []bool
+	mask    []bool
+	out, dx *tensor.Tensor
 }
 
 // NewReLU returns a ReLU layer.
@@ -16,31 +17,34 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward zeroes negative inputs and records the active mask.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.Zeros(x.Shape...)
+	r.out = tensor.Ensure(r.out, x.Shape...)
 	if cap(r.mask) < len(x.Data) {
 		r.mask = make([]bool, len(x.Data))
 	}
 	r.mask = r.mask[:len(x.Data)]
 	for i, v := range x.Data {
 		if v > 0 {
-			out.Data[i] = v
+			r.out.Data[i] = v
 			r.mask[i] = true
 		} else {
+			r.out.Data[i] = 0
 			r.mask[i] = false
 		}
 	}
-	return out
+	return r.out
 }
 
 // Backward gates the incoming gradient by the active mask.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.Zeros(grad.Shape...)
+	r.dx = tensor.Ensure(r.dx, grad.Shape...)
 	for i, v := range grad.Data {
 		if r.mask[i] {
-			out.Data[i] = v
+			r.dx.Data[i] = v
+		} else {
+			r.dx.Data[i] = 0
 		}
 	}
-	return out
+	return r.dx
 }
 
 // Params returns nil: ReLU has no parameters.
@@ -51,7 +55,8 @@ func (r *ReLU) Grads() []*tensor.Tensor { return nil }
 
 // Tanh is the hyperbolic-tangent activation.
 type Tanh struct {
-	y *tensor.Tensor
+	y  *tensor.Tensor
+	dx *tensor.Tensor
 }
 
 // NewTanh returns a Tanh layer.
@@ -59,17 +64,17 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward applies tanh elementwise.
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	t.y = tensor.Apply(x, math.Tanh)
+	t.y = tensor.ApplyTo(tensor.Ensure(t.y, x.Shape...), x, math.Tanh)
 	return t.y
 }
 
 // Backward multiplies by 1 - tanh².
 func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.Zeros(grad.Shape...)
+	t.dx = tensor.Ensure(t.dx, grad.Shape...)
 	for i, v := range grad.Data {
-		out.Data[i] = v * (1 - t.y.Data[i]*t.y.Data[i])
+		t.dx.Data[i] = v * (1 - t.y.Data[i]*t.y.Data[i])
 	}
-	return out
+	return t.dx
 }
 
 // Params returns nil.
@@ -82,7 +87,8 @@ func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
 
 // Sigmoid is the logistic activation.
 type Sigmoid struct {
-	y *tensor.Tensor
+	y  *tensor.Tensor
+	dx *tensor.Tensor
 }
 
 // NewSigmoid returns a Sigmoid layer.
@@ -90,17 +96,17 @@ func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // Forward applies the logistic function elementwise.
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	s.y = tensor.Apply(x, sigmoid)
+	s.y = tensor.ApplyTo(tensor.Ensure(s.y, x.Shape...), x, sigmoid)
 	return s.y
 }
 
 // Backward multiplies by y(1-y).
 func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.Zeros(grad.Shape...)
+	s.dx = tensor.Ensure(s.dx, grad.Shape...)
 	for i, v := range grad.Data {
-		out.Data[i] = v * s.y.Data[i] * (1 - s.y.Data[i])
+		s.dx.Data[i] = v * s.y.Data[i] * (1 - s.y.Data[i])
 	}
-	return out
+	return s.dx
 }
 
 // Params returns nil.

@@ -17,7 +17,14 @@ type Conv2D struct {
 	B      *tensor.Tensor // (OutC)
 	dW, dB *tensor.Tensor
 
-	cols []*tensor.Tensor // cached im2col matrices per sample
+	// Reusable workspaces, refreshed per call via tensor.Ensure so
+	// steady-state batches allocate nothing. cols is the per-sample im2col
+	// cache that backward consumes; the header tensors (imgHdr, gradHdr)
+	// re-point their Data at batch rows instead of allocating views.
+	cols            []*tensor.Tensor
+	y, out, dx      *tensor.Tensor
+	dcols           *tensor.Tensor
+	imgHdr, gradHdr tensor.Tensor
 }
 
 // NewConv2D constructs a convolution with the given geometry and output
@@ -49,25 +56,29 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	batch := x.Shape[0]
 	oh, ow := c.Geom.OutH(), c.Geom.OutW()
 	spatial := oh * ow
-	out := tensor.Zeros(batch, c.OutC*spatial)
-	c.cols = c.cols[:0]
+	colRows := c.Geom.InC * c.Geom.KH * c.Geom.KW
+	c.out = tensor.Ensure(c.out, batch, c.OutC*spatial)
+	c.y = tensor.Ensure(c.y, c.OutC, spatial)
+	c.cols = ensureSteps(c.cols, batch, colRows, spatial)
 	inLen := c.InFeatures()
+	if c.imgHdr.Shape == nil {
+		c.imgHdr.Shape = []int{c.Geom.InC, c.Geom.InH, c.Geom.InW}
+	}
 	for b := 0; b < batch; b++ {
-		img := tensor.New(x.Data[b*inLen:(b+1)*inLen], c.Geom.InC, c.Geom.InH, c.Geom.InW)
-		cols := tensor.Im2Col(img, c.Geom)
-		c.cols = append(c.cols, cols)
-		y := tensor.MatMul(c.W, cols) // (OutC × spatial)
-		dst := out.Data[b*c.OutC*spatial : (b+1)*c.OutC*spatial]
+		c.imgHdr.Data = x.Data[b*inLen : (b+1)*inLen]
+		cols := tensor.Im2ColTo(c.cols[b], &c.imgHdr, c.Geom)
+		tensor.MatMulTo(c.y, c.W, cols) // (OutC × spatial)
+		dst := c.out.Data[b*c.OutC*spatial : (b+1)*c.OutC*spatial]
 		for oc := 0; oc < c.OutC; oc++ {
 			bias := c.B.Data[oc]
-			row := y.Data[oc*spatial : (oc+1)*spatial]
+			row := c.y.Data[oc*spatial : (oc+1)*spatial]
 			dstRow := dst[oc*spatial : (oc+1)*spatial]
 			for j := range row {
 				dstRow[j] = row[j] + bias
 			}
 		}
 	}
-	return out
+	return c.out
 }
 
 // Backward accumulates dW/dB and returns the input gradient.
@@ -76,12 +87,21 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	batch := grad.Shape[0]
 	oh, ow := c.Geom.OutH(), c.Geom.OutW()
 	spatial := oh * ow
+	colRows := c.Geom.InC * c.Geom.KH * c.Geom.KW
 	inLen := c.InFeatures()
-	dx := tensor.Zeros(batch, inLen)
+	c.dx = tensor.Ensure(c.dx, batch, inLen)
+	c.dcols = tensor.Ensure(c.dcols, colRows, spatial)
+	if c.gradHdr.Shape == nil {
+		c.gradHdr.Shape = []int{c.OutC, spatial}
+	}
+	if c.imgHdr.Shape == nil {
+		c.imgHdr.Shape = []int{c.Geom.InC, c.Geom.InH, c.Geom.InW}
+	}
 	for b := 0; b < batch; b++ {
-		g := tensor.New(grad.Data[b*c.OutC*spatial:(b+1)*c.OutC*spatial], c.OutC, spatial)
+		c.gradHdr.Data = grad.Data[b*c.OutC*spatial : (b+1)*c.OutC*spatial]
+		g := &c.gradHdr
 		// dW += g · colsᵀ
-		tensor.AddInPlace(c.dW, tensor.MatMulTransB(g, c.cols[b]))
+		tensor.MatMulTransBAcc(c.dW, g, c.cols[b])
 		// dB += row sums of g
 		for oc := 0; oc < c.OutC; oc++ {
 			row := g.Data[oc*spatial : (oc+1)*spatial]
@@ -91,12 +111,12 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			}
 			c.dB.Data[oc] += s
 		}
-		// dcols = Wᵀ · g ; dx = col2im(dcols)
-		dcols := tensor.MatMulTransA(c.W, g)
-		dimg := tensor.Col2Im(dcols, c.Geom)
-		copy(dx.Data[b*inLen:(b+1)*inLen], dimg.Data)
+		// dcols = Wᵀ · g ; dx row = col2im(dcols), scattered in place.
+		tensor.MatMulTransATo(c.dcols, c.W, g)
+		c.imgHdr.Data = c.dx.Data[b*inLen : (b+1)*inLen]
+		tensor.Col2ImTo(&c.imgHdr, c.dcols, c.Geom)
 	}
-	return dx
+	return c.dx
 }
 
 // Params returns {W, B}.

@@ -13,7 +13,8 @@ type Dropout struct {
 	P   float64
 	rng *tensor.RNG
 
-	mask []float64
+	mask    []float64
+	out, dx *tensor.Tensor
 }
 
 // NewDropout constructs a dropout layer with drop probability p in [0,1).
@@ -35,16 +36,17 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	d.mask = d.mask[:len(x.Data)]
 	scale := 1 / (1 - d.P)
-	out := tensor.Zeros(x.Shape...)
+	d.out = tensor.Ensure(d.out, x.Shape...)
 	for i, v := range x.Data {
 		if d.rng.Float64() < d.P {
 			d.mask[i] = 0
+			d.out.Data[i] = 0
 		} else {
 			d.mask[i] = scale
-			out.Data[i] = v * scale
+			d.out.Data[i] = v * scale
 		}
 	}
-	return out
+	return d.out
 }
 
 // Backward gates the gradient with the same mask used in Forward.
@@ -52,11 +54,11 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.mask == nil {
 		return grad
 	}
-	out := tensor.Zeros(grad.Shape...)
+	d.dx = tensor.Ensure(d.dx, grad.Shape...)
 	for i, v := range grad.Data {
-		out.Data[i] = v * d.mask[i]
+		d.dx.Data[i] = v * d.mask[i]
 	}
-	return out
+	return d.dx
 }
 
 // Params returns nil.

@@ -18,6 +18,8 @@ type Embedding struct {
 
 	ids []int
 	t   int // sequence length of the last forward
+
+	out, dx *tensor.Tensor // reused buffers
 }
 
 // NewEmbedding constructs an embedding table with N(0, 1/√D) entries.
@@ -40,7 +42,8 @@ func (e *Embedding) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		e.ids = make([]int, batch*t)
 	}
 	e.ids = e.ids[:batch*t]
-	out := tensor.Zeros(batch, t*e.D)
+	e.out = tensor.Ensure(e.out, batch, t*e.D)
+	out := e.out
 	for i, raw := range x.Data {
 		id := int(raw)
 		if id < 0 || id >= e.Vocab {
@@ -65,7 +68,10 @@ func (e *Embedding) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			dst[j] += src[j]
 		}
 	}
-	return tensor.Zeros(grad.Shape[0], e.t)
+	// Token IDs are not differentiable; the input gradient is always zero.
+	e.dx = tensor.Ensure(e.dx, grad.Shape[0], e.t)
+	e.dx.Zero()
+	return e.dx
 }
 
 // Params returns {W}.

@@ -35,8 +35,13 @@ type Layer interface {
 }
 
 // Sequential chains layers. It implements Layer itself, so blocks nest.
+// The layer list must not be mutated after the first Params/Grads call:
+// both views are cached so per-step bookkeeping (ZeroGrads, SGD steps)
+// does not rebuild them.
 type Sequential struct {
 	Layers []Layer
+
+	params, grads []*tensor.Tensor // cached flat views
 }
 
 // NewSequential builds a Sequential from the given layers.
@@ -60,23 +65,26 @@ func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return grad
 }
 
-// Params returns the concatenation of all layer parameters, in layer order.
+// Params returns the concatenation of all layer parameters, in layer
+// order. The slice is cached; callers must not append to it.
 func (s *Sequential) Params() []*tensor.Tensor {
-	var ps []*tensor.Tensor
-	for _, l := range s.Layers {
-		ps = append(ps, l.Params()...)
+	if s.params == nil {
+		for _, l := range s.Layers {
+			s.params = append(s.params, l.Params()...)
+		}
 	}
-	return ps
+	return s.params
 }
 
 // Grads returns the concatenation of all layer gradients, aligned with
-// Params.
+// Params. The slice is cached; callers must not append to it.
 func (s *Sequential) Grads() []*tensor.Tensor {
-	var gs []*tensor.Tensor
-	for _, l := range s.Layers {
-		gs = append(gs, l.Grads()...)
+	if s.grads == nil {
+		for _, l := range s.Layers {
+			s.grads = append(s.grads, l.Grads()...)
+		}
 	}
-	return gs
+	return s.grads
 }
 
 // ZeroGrads clears every gradient tensor of the network.

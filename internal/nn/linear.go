@@ -13,6 +13,11 @@ type Linear struct {
 	dW, dB  *tensor.Tensor
 
 	x *tensor.Tensor // cached input for backward
+
+	// Reused activation/gradient buffers (see the buffer-ownership rules
+	// in docs/ARCHITECTURE.md): refreshed via tensor.Ensure every call, so
+	// steady-state training allocates nothing here.
+	out, dx *tensor.Tensor
 }
 
 // NewLinear constructs a Linear layer with Kaiming-uniform weights drawn
@@ -32,22 +37,23 @@ func NewLinear(in, out int, rng *tensor.RNG) *Linear {
 func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkBatch("Linear", x, l.In)
 	l.x = x
-	out := tensor.MatMul(x, l.W)
-	batch := out.Shape[0]
+	batch := x.Shape[0]
+	l.out = tensor.Ensure(l.out, batch, l.Out)
+	tensor.MatMulTo(l.out, x, l.W)
 	for b := 0; b < batch; b++ {
-		row := out.Data[b*l.Out : (b+1)*l.Out]
+		row := l.out.Data[b*l.Out : (b+1)*l.Out]
 		for j := range row {
 			row[j] += l.B.Data[j]
 		}
 	}
-	return out
+	return l.out
 }
 
 // Backward accumulates dW, dB and returns dLoss/dInput.
 func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	checkBatch("Linear.Backward", grad, l.Out)
 	// dW += xᵀ · grad ; dB += Σ_batch grad ; dx = grad · Wᵀ
-	tensor.AddInPlace(l.dW, tensor.MatMulTransA(l.x, grad))
+	tensor.MatMulTransAAcc(l.dW, l.x, grad)
 	batch := grad.Shape[0]
 	for b := 0; b < batch; b++ {
 		row := grad.Data[b*l.Out : (b+1)*l.Out]
@@ -55,7 +61,8 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			l.dB.Data[j] += row[j]
 		}
 	}
-	return tensor.MatMulTransB(grad, l.W)
+	l.dx = tensor.Ensure(l.dx, batch, l.In)
+	return tensor.MatMulTransBTo(l.dx, grad, l.W)
 }
 
 // Params returns {W, B}.

@@ -12,6 +12,16 @@ import (
 // Backward. The softmax is computed with the max-subtraction trick for
 // numerical stability.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	grad = tensor.Zeros(logits.Shape...)
+	loss = SoftmaxCrossEntropyInto(grad, logits, labels)
+	return loss, grad
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing dLoss/dLogits
+// into a caller-owned grad tensor of the same shape as logits (contents
+// are overwritten; grad must not alias logits). It is the zero-allocation
+// form the training loop uses with a reused buffer.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) (loss float64) {
 	if logits.Rank() != 2 {
 		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy expects rank-2 logits, got %v", logits.Shape))
 	}
@@ -19,7 +29,9 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, gra
 	if len(labels) != batch {
 		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy: %d labels for batch %d", len(labels), batch))
 	}
-	grad = tensor.Zeros(batch, classes)
+	if !tensor.SameShape(grad, logits) {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy: grad shape %v, want %v", grad.Shape, logits.Shape))
+	}
 	invB := 1.0 / float64(batch)
 	for b := 0; b < batch; b++ {
 		row := logits.Data[b*classes : (b+1)*classes]
@@ -47,7 +59,7 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, gra
 		}
 		g[y] -= invB
 	}
-	return loss * invB, grad
+	return loss * invB
 }
 
 // Softmax returns row-wise softmax probabilities of logits.
@@ -103,7 +115,10 @@ func KLToTeacher(teacherProbs, studentLogits *tensor.Tensor) (float64, *tensor.T
 }
 
 // Accuracy returns the fraction of rows of logits whose argmax equals the
-// label.
+// label. NaN logits can never win the argmax (`v > bestV` is false for
+// NaN either way, but a NaN in position 0 used to win by default), so a
+// row of corrupted logits counts as a wrong prediction instead of
+// silently as class 0.
 func Accuracy(logits *tensor.Tensor, labels []int) float64 {
 	batch, classes := logits.Shape[0], logits.Shape[1]
 	if batch == 0 {
@@ -112,9 +127,13 @@ func Accuracy(logits *tensor.Tensor, labels []int) float64 {
 	correct := 0
 	for b := 0; b < batch; b++ {
 		row := logits.Data[b*classes : (b+1)*classes]
-		best, bestV := 0, row[0]
+		best := -1
+		bestV := 0.0
 		for j, v := range row {
-			if v > bestV {
+			if math.IsNaN(v) {
+				continue
+			}
+			if best == -1 || v > bestV {
 				best, bestV = j, v
 			}
 		}

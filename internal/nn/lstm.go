@@ -20,13 +20,17 @@ type LSTM struct {
 
 	dWx, dWh, dB *tensor.Tensor
 
-	// Per-forward caches, one entry per timestep.
+	// Per-forward caches, one entry per timestep, recycled across calls
+	// via tensor.Ensure so steady-state batches allocate nothing.
 	xs    []*tensor.Tensor // (B × D) input slices
 	hs    []*tensor.Tensor // (B × H) hidden states, hs[0] is h_{-1}=0
 	cs    []*tensor.Tensor // (B × H) cell states, cs[0] is c_{-1}=0
 	gates []*tensor.Tensor // (B × 4H) post-activation gates
 	tanhC []*tensor.Tensor // (B × H) tanh(c_t)
 	batch int
+
+	// Single-step scratch buffers (forward: a; backward: the rest).
+	a, da, dh, dc, dxt, dx *tensor.Tensor
 }
 
 // NewLSTM constructs an LSTM for sequences of T steps of width D with H
@@ -53,6 +57,18 @@ func NewLSTM(t, d, h int, rng *tensor.RNG) *LSTM {
 	return l
 }
 
+// ensureSteps grows a per-timestep cache to n entries with the given
+// element shape, recycling existing buffers.
+func ensureSteps(ts []*tensor.Tensor, n, rows, cols int) []*tensor.Tensor {
+	for len(ts) < n {
+		ts = append(ts, nil)
+	}
+	for i := 0; i < n; i++ {
+		ts[i] = tensor.Ensure(ts[i], rows, cols)
+	}
+	return ts
+}
+
 // Forward runs the recurrence over all T steps and returns the last hidden
 // state.
 func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -61,22 +77,24 @@ func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.batch = batch
 	h4 := 4 * l.H
 
-	l.xs = l.xs[:0]
-	l.hs = append(l.hs[:0], tensor.Zeros(batch, l.H))
-	l.cs = append(l.cs[:0], tensor.Zeros(batch, l.H))
-	l.gates = l.gates[:0]
-	l.tanhC = l.tanhC[:0]
+	l.xs = ensureSteps(l.xs, l.T, batch, l.D)
+	l.hs = ensureSteps(l.hs, l.T+1, batch, l.H)
+	l.cs = ensureSteps(l.cs, l.T+1, batch, l.H)
+	l.gates = ensureSteps(l.gates, l.T, batch, h4)
+	l.tanhC = ensureSteps(l.tanhC, l.T, batch, l.H)
+	l.hs[0].Zero()
+	l.cs[0].Zero()
+	l.a = tensor.Ensure(l.a, batch, h4)
 
 	for t := 0; t < l.T; t++ {
 		// Slice out step t of each sample into a (B × D) matrix.
-		xt := tensor.Zeros(batch, l.D)
+		xt := l.xs[t]
 		for b := 0; b < batch; b++ {
 			copy(xt.Data[b*l.D:(b+1)*l.D], x.Data[b*l.T*l.D+t*l.D:b*l.T*l.D+(t+1)*l.D])
 		}
-		l.xs = append(l.xs, xt)
 
-		a := tensor.MatMul(xt, l.Wx)
-		tensor.AddInPlace(a, tensor.MatMul(l.hs[t], l.Wh))
+		a := tensor.MatMulTo(l.a, xt, l.Wx)
+		tensor.MatMulAcc(a, l.hs[t], l.Wh)
 		for b := 0; b < batch; b++ {
 			row := a.Data[b*h4 : (b+1)*h4]
 			for j := range row {
@@ -84,10 +102,7 @@ func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 
-		gate := tensor.Zeros(batch, h4)
-		ct := tensor.Zeros(batch, l.H)
-		ht := tensor.Zeros(batch, l.H)
-		tc := tensor.Zeros(batch, l.H)
+		gate, ct, ht, tc := l.gates[t], l.cs[t+1], l.hs[t+1], l.tanhC[t]
 		prevC := l.cs[t]
 		for b := 0; b < batch; b++ {
 			arow := a.Data[b*h4 : (b+1)*h4]
@@ -105,10 +120,6 @@ func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				ht.Data[b*l.H+j] = o * th
 			}
 		}
-		l.gates = append(l.gates, gate)
-		l.cs = append(l.cs, ct)
-		l.hs = append(l.hs, ht)
-		l.tanhC = append(l.tanhC, tc)
 	}
 	return l.hs[l.T]
 }
@@ -118,13 +129,17 @@ func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	checkBatch("LSTM.Backward", grad, l.H)
 	batch := l.batch
 	h4 := 4 * l.H
-	dx := tensor.Zeros(batch, l.T*l.D)
-	dh := grad.Clone()
-	dc := tensor.Zeros(batch, l.H)
+	l.dx = tensor.Ensure(l.dx, batch, l.T*l.D)
+	l.dh = tensor.Ensure(l.dh, batch, l.H)
+	copy(l.dh.Data, grad.Data)
+	l.dc = tensor.Ensure(l.dc, batch, l.H)
+	l.dc.Zero()
+	l.da = tensor.Ensure(l.da, batch, h4)
+	l.dxt = tensor.Ensure(l.dxt, batch, l.D)
+	dx, dh, dc, da, dxt := l.dx, l.dh, l.dc, l.da, l.dxt
 
 	for t := l.T - 1; t >= 0; t-- {
 		gate := l.gates[t]
-		da := tensor.Zeros(batch, h4)
 		prevC := l.cs[t]
 		for b := 0; b < batch; b++ {
 			grow := gate.Data[b*h4 : (b+1)*h4]
@@ -146,20 +161,21 @@ func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 		// Parameter gradients.
-		tensor.AddInPlace(l.dWx, tensor.MatMulTransA(l.xs[t], da))
-		tensor.AddInPlace(l.dWh, tensor.MatMulTransA(l.hs[t], da))
+		tensor.MatMulTransAAcc(l.dWx, l.xs[t], da)
+		tensor.MatMulTransAAcc(l.dWh, l.hs[t], da)
 		for b := 0; b < batch; b++ {
 			row := da.Data[b*h4 : (b+1)*h4]
 			for j := range row {
 				l.dB.Data[j] += row[j]
 			}
 		}
-		// Input and recurrent gradients.
-		dxt := tensor.MatMulTransB(da, l.Wx)
+		// Input and recurrent gradients. dh's previous value was fully
+		// consumed above, so it can be overwritten in place.
+		tensor.MatMulTransBTo(dxt, da, l.Wx)
 		for b := 0; b < batch; b++ {
 			copy(dx.Data[b*l.T*l.D+t*l.D:b*l.T*l.D+(t+1)*l.D], dxt.Data[b*l.D:(b+1)*l.D])
 		}
-		dh = tensor.MatMulTransB(da, l.Wh)
+		tensor.MatMulTransBTo(dh, da, l.Wh)
 	}
 	return dx
 }

@@ -111,6 +111,28 @@ func TestAccuracy(t *testing.T) {
 	}
 }
 
+// TestAccuracyNaNLogitsCountAsWrong is the regression test for the
+// NaN-blind argmax: a NaN in position 0 used to win the row (`v > bestV`
+// is false for NaN), so garbage predictions were silently scored as
+// class 0. NaN logits must lose deterministically, and an all-NaN row
+// must count as an incorrect prediction for every label.
+func TestAccuracyNaNLogitsCountAsWrong(t *testing.T) {
+	nan := math.NaN()
+	logits := tensor.New([]float64{
+		nan, 1, 2, // valid argmax 2 despite leading NaN
+		nan, nan, nan, // garbage row: no valid prediction
+		3, nan, 1, // valid argmax 0 despite inner NaN
+	}, 3, 3)
+	if got := Accuracy(logits, []int{2, 0, 0}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("Accuracy = %v, want 2/3 (all-NaN row must score wrong)", got)
+	}
+	// Before the fix the first row scored label 0 and the garbage row
+	// scored label 0; pin that neither happens.
+	if got := Accuracy(logits, []int{0, 0, 1}); got != 0 {
+		t.Fatalf("Accuracy = %v, want 0 (NaN rows must never score class 0)", got)
+	}
+}
+
 func TestSGDReducesLossOnConvexProblem(t *testing.T) {
 	rng := tensor.NewRNG(20)
 	net := NewSequential(NewLinear(3, 2, rng))

@@ -53,15 +53,21 @@ func (v ParamVector) Clone() ParamVector {
 
 // Lerp returns alpha*v + (1-alpha)*w, the cross-aggregation primitive.
 func (v ParamVector) Lerp(w ParamVector, alpha float64) ParamVector {
-	if len(v) != len(w) {
-		panic(fmt.Sprintf("nn: ParamVector.Lerp length mismatch %d vs %d", len(v), len(w)))
-	}
 	out := make(ParamVector, len(v))
-	beta := 1 - alpha
-	for i := range v {
-		out[i] = alpha*v[i] + beta*w[i]
-	}
+	LerpVectorsTo(out, v, w, alpha)
 	return out
+}
+
+// LerpVectorsTo computes dst = alpha*v + (1-alpha)*w without allocating.
+// dst may alias v or w.
+func LerpVectorsTo(dst, v, w ParamVector, alpha float64) {
+	if len(v) != len(w) || len(dst) != len(v) {
+		panic(fmt.Sprintf("nn: LerpVectorsTo length mismatch dst %d, v %d, w %d", len(dst), len(v), len(w)))
+	}
+	beta := 1 - alpha
+	for i := range dst {
+		dst[i] = alpha*v[i] + beta*w[i]
+	}
 }
 
 // Add returns v + w.
@@ -142,19 +148,33 @@ func MeanVectors(vs []ParamVector) ParamVector {
 		panic("nn: MeanVectors of empty set")
 	}
 	out := make(ParamVector, len(vs[0]))
-	for _, v := range vs {
-		if len(v) != len(out) {
-			panic(fmt.Sprintf("nn: MeanVectors length mismatch %d vs %d", len(v), len(out)))
+	MeanVectorsTo(out, vs)
+	return out
+}
+
+// MeanVectorsTo computes the mean of vs into dst without allocating. dst
+// may be vs[0] itself but must not alias any later vector, because dst is
+// seeded from vs[0] before the rest accumulate.
+func MeanVectorsTo(dst ParamVector, vs []ParamVector) {
+	if len(vs) == 0 {
+		panic("nn: MeanVectorsTo of empty set")
+	}
+	if len(dst) != len(vs[0]) {
+		panic(fmt.Sprintf("nn: MeanVectorsTo destination length %d, want %d", len(dst), len(vs[0])))
+	}
+	copy(dst, vs[0])
+	for _, v := range vs[1:] {
+		if len(v) != len(dst) {
+			panic(fmt.Sprintf("nn: MeanVectorsTo length mismatch %d vs %d", len(v), len(dst)))
 		}
 		for i := range v {
-			out[i] += v[i]
+			dst[i] += v[i]
 		}
 	}
 	inv := 1 / float64(len(vs))
-	for i := range out {
-		out[i] *= inv
+	for i := range dst {
+		dst[i] *= inv
 	}
-	return out
 }
 
 // WeightedMeanVectors averages vectors with the given non-negative weights

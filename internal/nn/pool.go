@@ -13,8 +13,9 @@ type MaxPool2D struct {
 	C, H, W int // input geometry
 	K       int // kernel = stride
 
-	argmax []int // flat input index chosen per output element, per batch
-	batch  int
+	argmax  []int // flat input index chosen per output element, per batch
+	batch   int
+	out, dx *tensor.Tensor
 }
 
 // NewMaxPool2D constructs a pooling layer for C×H×W inputs with kernel k.
@@ -39,7 +40,8 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	p.batch = batch
 	oh, ow := p.H/p.K, p.W/p.K
 	outLen := p.C * oh * ow
-	out := tensor.Zeros(batch, outLen)
+	p.out = tensor.Ensure(p.out, batch, outLen)
+	out := p.out
 	if cap(p.argmax) < batch*outLen {
 		p.argmax = make([]int, batch*outLen)
 	}
@@ -78,7 +80,9 @@ func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	checkBatch("MaxPool2D.Backward", grad, p.OutFeatures())
 	inLen := p.InFeatures()
 	outLen := p.OutFeatures()
-	dx := tensor.Zeros(p.batch, inLen)
+	p.dx = tensor.Ensure(p.dx, p.batch, inLen)
+	dx := p.dx
+	dx.Zero()
 	for b := 0; b < p.batch; b++ {
 		g := grad.Data[b*outLen : (b+1)*outLen]
 		am := p.argmax[b*outLen : (b+1)*outLen]
@@ -102,6 +106,7 @@ func (p *MaxPool2D) Grads() []*tensor.Tensor { return nil }
 type GlobalAvgPool struct {
 	C, H, W int
 	batch   int
+	out, dx *tensor.Tensor
 }
 
 // NewGlobalAvgPool constructs a global average pool for C×H×W inputs.
@@ -115,7 +120,8 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	batch := x.Shape[0]
 	p.batch = batch
 	plane := p.H * p.W
-	out := tensor.Zeros(batch, p.C)
+	p.out = tensor.Ensure(p.out, batch, p.C)
+	out := p.out
 	for b := 0; b < batch; b++ {
 		src := x.Data[b*p.C*plane : (b+1)*p.C*plane]
 		for c := 0; c < p.C; c++ {
@@ -134,7 +140,8 @@ func (p *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	checkBatch("GlobalAvgPool.Backward", grad, p.C)
 	plane := p.H * p.W
 	inv := 1.0 / float64(plane)
-	dx := tensor.Zeros(p.batch, p.C*plane)
+	p.dx = tensor.Ensure(p.dx, p.batch, p.C*plane)
+	dx := p.dx
 	for b := 0; b < p.batch; b++ {
 		for c := 0; c < p.C; c++ {
 			g := grad.Data[b*p.C+c] * inv

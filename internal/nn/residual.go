@@ -13,6 +13,8 @@ import (
 type Residual struct {
 	Body Layer
 	Proj Layer // nil means identity skip
+
+	out *tensor.Tensor // reused forward buffer
 }
 
 // NewResidual wraps body with an identity skip connection.
@@ -36,7 +38,8 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !tensor.SameShape(y, skip) {
 		panic(fmt.Sprintf("nn: Residual: body output %v does not match skip %v (need a projection)", y.Shape, skip.Shape))
 	}
-	return tensor.Add(y, skip)
+	r.out = tensor.Ensure(r.out, y.Shape...)
+	return tensor.AddTo(r.out, y, skip)
 }
 
 // Backward splits the incoming gradient between the body and the skip path.

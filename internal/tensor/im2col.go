@@ -37,13 +37,28 @@ func (g ConvGeom) Validate() error {
 // (InC*KH*KW) × (OutH*OutW), so convolution becomes one MatMul.
 // img must have InC*InH*InW elements (any shape).
 func Im2Col(img *Tensor, g ConvGeom) *Tensor {
+	oh, ow := g.OutH(), g.OutW()
+	return Im2ColTo(Zeros(g.InC*g.KH*g.KW, oh*ow), img, g)
+}
+
+// Im2ColTo is Im2Col writing into a caller-owned workspace of shape
+// (InC*KH*KW) × (OutH*OutW). dst must not alias img. Padding gaps are
+// cleared, so a reused workspace needs no prior Zero.
+func Im2ColTo(dst, img *Tensor, g ConvGeom) *Tensor {
 	if img.Len() != g.InC*g.InH*g.InW {
 		panic(fmt.Sprintf("tensor: Im2Col input has %d elements, geometry wants %d", img.Len(), g.InC*g.InH*g.InW))
 	}
 	oh, ow := g.OutH(), g.OutW()
 	rows := g.InC * g.KH * g.KW
 	cols := oh * ow
-	out := Zeros(rows, cols)
+	if dst.Rank() != 2 || dst.Shape[0] != rows || dst.Shape[1] != cols {
+		panic(fmt.Sprintf("tensor: Im2ColTo destination shape %v, want [%d %d]", dst.Shape, rows, cols))
+	}
+	out := dst
+	if g.Pad > 0 {
+		// Out-of-image taps are never written below; clear stale contents.
+		out.Zero()
+	}
 	src := img.Data
 	for c := 0; c < g.InC; c++ {
 		chanOff := c * g.InH * g.InW
@@ -74,12 +89,23 @@ func Im2Col(img *Tensor, g ConvGeom) *Tensor {
 // Col2Im is the adjoint of Im2Col: it scatters a (InC*KH*KW)×(OutH*OutW)
 // gradient matrix back into a CHW image gradient, summing overlaps.
 func Col2Im(cols *Tensor, g ConvGeom) *Tensor {
+	return Col2ImTo(Zeros(g.InC, g.InH, g.InW), cols, g)
+}
+
+// Col2ImTo is Col2Im scattering into a caller-owned image-gradient buffer
+// with InC*InH*InW elements (any shape). The buffer is zeroed first, so it
+// may hold stale contents. dst must not alias cols.
+func Col2ImTo(dstT, cols *Tensor, g ConvGeom) *Tensor {
 	oh, ow := g.OutH(), g.OutW()
 	rows := g.InC * g.KH * g.KW
 	if cols.Rank() != 2 || cols.Shape[0] != rows || cols.Shape[1] != oh*ow {
 		panic(fmt.Sprintf("tensor: Col2Im input shape %v, want [%d %d]", cols.Shape, rows, oh*ow))
 	}
-	out := Zeros(g.InC, g.InH, g.InW)
+	if dstT.Len() != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Col2ImTo destination has %d elements, geometry wants %d", dstT.Len(), g.InC*g.InH*g.InW))
+	}
+	out := dstT
+	out.Zero()
 	dst := out.Data
 	nc := oh * ow
 	for c := 0; c < g.InC; c++ {

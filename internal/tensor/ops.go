@@ -5,43 +5,75 @@ import (
 	"math"
 )
 
+// Destination-passing convention: every *To kernel writes its result into
+// a caller-supplied dst tensor whose shape must already match, and returns
+// dst. The allocating forms (Add, MatMul, ...) are thin wrappers that
+// allocate a fresh dst. Elementwise kernels (AddTo, SubTo, MulTo, ScaleTo,
+// LerpTo, ApplyTo) tolerate dst aliasing any input; the matrix kernels
+// (MatMulTo and friends) require dst to be disjoint from both operands —
+// see docs/ARCHITECTURE.md "Buffer ownership" for the full rules.
+
 // Add returns a + b elementwise. Shapes must match.
 func Add(a, b *Tensor) *Tensor {
-	checkSame("Add", a, b)
-	out := Zeros(a.Shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
+	return AddTo(Zeros(a.Shape...), a, b)
+}
+
+// AddTo computes dst = a + b elementwise. dst may alias a or b.
+func AddTo(dst, a, b *Tensor) *Tensor {
+	checkSame("AddTo", a, b)
+	checkSame("AddTo(dst)", dst, a)
+	ad, bd, dd := a.Data, b.Data, dst.Data
+	for i := range dd {
+		dd[i] = ad[i] + bd[i]
 	}
-	return out
+	return dst
 }
 
 // Sub returns a - b elementwise.
 func Sub(a, b *Tensor) *Tensor {
-	checkSame("Sub", a, b)
-	out := Zeros(a.Shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] - b.Data[i]
+	return SubTo(Zeros(a.Shape...), a, b)
+}
+
+// SubTo computes dst = a - b elementwise. dst may alias a or b.
+func SubTo(dst, a, b *Tensor) *Tensor {
+	checkSame("SubTo", a, b)
+	checkSame("SubTo(dst)", dst, a)
+	ad, bd, dd := a.Data, b.Data, dst.Data
+	for i := range dd {
+		dd[i] = ad[i] - bd[i]
 	}
-	return out
+	return dst
 }
 
 // Mul returns the elementwise (Hadamard) product a * b.
 func Mul(a, b *Tensor) *Tensor {
-	checkSame("Mul", a, b)
-	out := Zeros(a.Shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] * b.Data[i]
+	return MulTo(Zeros(a.Shape...), a, b)
+}
+
+// MulTo computes dst = a * b elementwise. dst may alias a or b.
+func MulTo(dst, a, b *Tensor) *Tensor {
+	checkSame("MulTo", a, b)
+	checkSame("MulTo(dst)", dst, a)
+	ad, bd, dd := a.Data, b.Data, dst.Data
+	for i := range dd {
+		dd[i] = ad[i] * bd[i]
 	}
-	return out
+	return dst
 }
 
 // Scale returns s * a.
 func Scale(a *Tensor, s float64) *Tensor {
-	out := Zeros(a.Shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] * s
+	return ScaleTo(Zeros(a.Shape...), a, s)
+}
+
+// ScaleTo computes dst = s * a elementwise. dst may alias a.
+func ScaleTo(dst, a *Tensor, s float64) *Tensor {
+	checkSame("ScaleTo(dst)", dst, a)
+	ad, dd := a.Data, dst.Data
+	for i := range dd {
+		dd[i] = ad[i] * s
 	}
-	return out
+	return dst
 }
 
 // AddInPlace accumulates src into dst: dst += src.
@@ -70,13 +102,19 @@ func ScaleInPlace(t *Tensor, s float64) {
 // Lerp returns alpha*a + (1-alpha)*b, the convex combination used by
 // cross-aggregation.
 func Lerp(a, b *Tensor, alpha float64) *Tensor {
-	checkSame("Lerp", a, b)
-	out := Zeros(a.Shape...)
+	return LerpTo(Zeros(a.Shape...), a, b, alpha)
+}
+
+// LerpTo computes dst = alpha*a + (1-alpha)*b. dst may alias a or b.
+func LerpTo(dst, a, b *Tensor, alpha float64) *Tensor {
+	checkSame("LerpTo", a, b)
+	checkSame("LerpTo(dst)", dst, a)
 	beta := 1 - alpha
-	for i := range a.Data {
-		out.Data[i] = alpha*a.Data[i] + beta*b.Data[i]
+	ad, bd, dd := a.Data, b.Data, dst.Data
+	for i := range dd {
+		dd[i] = alpha*ad[i] + beta*bd[i]
 	}
-	return out
+	return dst
 }
 
 // Dot returns the inner product of a and b viewed as flat vectors.
@@ -113,14 +151,18 @@ func Mean(t *Tensor) float64 {
 	return Sum(t) / float64(len(t.Data))
 }
 
-// ArgMax returns the index of the first maximal element of a flat tensor.
+// ArgMax returns the index of the first maximal element of a flat tensor,
+// ignoring NaN entries: a NaN can never win, so corrupted logits count as
+// a wrong prediction rather than silently as class 0. It returns -1 for an
+// empty tensor or when every element is NaN.
 func ArgMax(t *Tensor) int {
-	if len(t.Data) == 0 {
-		return -1
-	}
-	best, bestV := 0, t.Data[0]
+	best := -1
+	bestV := 0.0
 	for i, v := range t.Data {
-		if v > bestV {
+		if math.IsNaN(v) {
+			continue
+		}
+		if best == -1 || v > bestV {
 			best, bestV = i, v
 		}
 	}
@@ -129,97 +171,283 @@ func ArgMax(t *Tensor) int {
 
 // Apply returns a new tensor with f applied to every element.
 func Apply(t *Tensor, f func(float64) float64) *Tensor {
-	out := Zeros(t.Shape...)
-	for i, v := range t.Data {
-		out.Data[i] = f(v)
-	}
-	return out
+	return ApplyTo(Zeros(t.Shape...), t, f)
 }
 
-// MatMul multiplies a (m×k) by b (k×n) producing an m×n tensor. Both inputs
-// must be rank-2. The kernel is a cache-friendly ikj loop over the flat
-// backing slices.
+// ApplyTo computes dst[i] = f(a[i]). dst may alias a.
+func ApplyTo(dst, a *Tensor, f func(float64) float64) *Tensor {
+	checkSame("ApplyTo(dst)", dst, a)
+	ad, dd := a.Data, dst.Data
+	for i := range dd {
+		dd[i] = f(ad[i])
+	}
+	return dst
+}
+
+// Cache-blocking parameters for the matmul kernels. A (blockK × blockN)
+// panel of the B operand is 256 KiB — sized to stay resident in L2 while a
+// full sweep of output rows streams past it.
+const (
+	blockK = 128
+	blockN = 256
+)
+
+// MatMul multiplies a (m×k) by b (k×n) producing an m×n tensor. Both
+// inputs must be rank-2.
 func MatMul(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v x %v", a.Shape, b.Shape))
+	m, _, n := matmulDims("MatMul", a, b, false, false)
+	return matmulTo(Zeros(m, n), a, b, false)
+}
+
+// MatMulTo computes dst = a·b where a is m×k and b is k×n. dst must be
+// m×n and must not alias either operand.
+func MatMulTo(dst, a, b *Tensor) *Tensor {
+	return matmulTo(dst, a, b, false)
+}
+
+// MatMulAcc computes dst += a·b. dst must be m×n and must not alias
+// either operand.
+func MatMulAcc(dst, a, b *Tensor) *Tensor {
+	return matmulTo(dst, a, b, true)
+}
+
+func matmulTo(dst, a, b *Tensor, acc bool) *Tensor {
+	m, k, n := matmulDims("MatMul", a, b, false, false)
+	checkDst("MatMul", dst, a, b, m, n)
+	if !acc {
+		dst.Zero()
 	}
-	m, k := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.Shape, b.Shape))
+	if w := matmulWorkerCount(m, m*k*n); w > 1 {
+		parallelRows(m, w, func(i0, i1 int) {
+			matmulRows(dst.Data, a.Data, b.Data, i0, i1, k, n)
+		})
+	} else {
+		matmulRows(dst.Data, a.Data, b.Data, 0, m, k, n)
 	}
-	out := Zeros(m, n)
-	ad, bd, od := a.Data, b.Data, out.Data
-	for i := 0; i < m; i++ {
-		arow := ad[i*k : (i+1)*k]
-		orow := od[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
+	return dst
+}
+
+// matmulRows accumulates rows [i0,i1) of dst += a·b with k/n blocking.
+// Every output element accumulates its k addends in ascending-p order, so
+// the result is bit-identical for any block size. There is deliberately no
+// zero-skip on a's elements: 0·NaN and 0·Inf must produce NaN, not 0
+// (IEEE-754), so corrupted operands propagate instead of being masked.
+func matmulRows(dd, ad, bd []float64, i0, i1, k, n int) {
+	for jb := 0; jb < n; jb += blockN {
+		jend := jb + blockN
+		if jend > n {
+			jend = n
+		}
+		for pb := 0; pb < k; pb += blockK {
+			pend := pb + blockK
+			if pend > k {
+				pend = k
 			}
-			brow := bd[p*n : (p+1)*n]
-			for j := range brow {
-				orow[j] += av * brow[j]
+			// Two output rows per sweep so each B panel load feeds two
+			// accumulate streams. The unroll keeps one add per output
+			// element per p, so accumulation order (and rounding) is
+			// identical to the plain loop.
+			i := i0
+			for ; i+2 <= i1; i += 2 {
+				arow0 := ad[i*k : (i+1)*k]
+				arow1 := ad[(i+1)*k : (i+2)*k]
+				orow0 := dd[i*n+jb : i*n+jend]
+				orow1 := dd[(i+1)*n+jb : (i+1)*n+jend]
+				for p := pb; p < pend; p++ {
+					av0, av1 := arow0[p], arow1[p]
+					brow := bd[p*n+jb : p*n+jend]
+					o0 := orow0[:len(brow)]
+					o1 := orow1[:len(brow)]
+					for j, bv := range brow {
+						o0[j] += av0 * bv
+						o1[j] += av1 * bv
+					}
+				}
+			}
+			for ; i < i1; i++ {
+				arow := ad[i*k : (i+1)*k]
+				orow := dd[i*n+jb : i*n+jend]
+				for p := pb; p < pend; p++ {
+					av := arow[p]
+					brow := bd[p*n+jb : p*n+jend]
+					o := orow[:len(brow)]
+					for j, bv := range brow {
+						o[j] += av * bv
+					}
+				}
 			}
 		}
 	}
-	return out
 }
 
 // MatMulTransB multiplies a (m×k) by bᵀ where b is (n×k), producing m×n.
 // This avoids materialising the transpose in backward passes.
 func MatMulTransB(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB requires rank-2 operands, got %v x %v", a.Shape, b.Shape))
+	m, _, n := matmulDims("MatMulTransB", a, b, false, true)
+	return matmulTransBTo(Zeros(m, n), a, b, false)
+}
+
+// MatMulTransBTo computes dst = a·bᵀ with a m×k and b n×k. dst must be
+// m×n and must not alias either operand.
+func MatMulTransBTo(dst, a, b *Tensor) *Tensor {
+	return matmulTransBTo(dst, a, b, false)
+}
+
+// MatMulTransBAcc computes dst += a·bᵀ. dst must be m×n and must not
+// alias either operand.
+func MatMulTransBAcc(dst, a, b *Tensor) *Tensor {
+	return matmulTransBTo(dst, a, b, true)
+}
+
+func matmulTransBTo(dst, a, b *Tensor, acc bool) *Tensor {
+	m, k, n := matmulDims("MatMulTransB", a, b, false, true)
+	checkDst("MatMulTransB", dst, a, b, m, n)
+	ad, bd, dd := a.Data, b.Data, dst.Data
+	if w := matmulWorkerCount(m, m*k*n); w > 1 {
+		parallelRows(m, w, func(i0, i1 int) {
+			matmulTransBRows(dd, ad, bd, i0, i1, k, n, acc)
+		})
+	} else {
+		matmulTransBRows(dd, ad, bd, 0, m, k, n, acc)
 	}
-	m, k := a.Shape[0], a.Shape[1]
-	n, k2 := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v x %v", a.Shape, b.Shape))
-	}
-	out := Zeros(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
+	return dst
+}
+
+func matmulTransBRows(dd, ad, bd []float64, i0, i1, k, n int, acc bool) {
+	for i := i0; i < i1; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := dd[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			s := 0.0
-			for p := range arow {
-				s += arow[p] * brow[p]
+			brow := bd[j*k : (j+1)*k]
+			// Four-way unrolled dot product: the partial sums change the
+			// rounding order versus a serial sum but are themselves a fixed
+			// order, preserving run-to-run determinism.
+			var s0, s1, s2, s3 float64
+			p := 0
+			for ; p+4 <= k; p += 4 {
+				s0 += arow[p] * brow[p]
+				s1 += arow[p+1] * brow[p+1]
+				s2 += arow[p+2] * brow[p+2]
+				s3 += arow[p+3] * brow[p+3]
 			}
-			orow[j] = s
+			for ; p < k; p++ {
+				s0 += arow[p] * brow[p]
+			}
+			s := s0 + s1 + s2 + s3
+			if acc {
+				orow[j] += s
+			} else {
+				orow[j] = s
+			}
 		}
 	}
-	return out
 }
 
 // MatMulTransA multiplies aᵀ (k×m, stored as m×k) by b (m×n), producing k×n.
 func MatMulTransA(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA requires rank-2 operands, got %v x %v", a.Shape, b.Shape))
+	k, _, n := matmulDims("MatMulTransA", a, b, true, false)
+	return matmulTransATo(Zeros(k, n), a, b, false)
+}
+
+// MatMulTransATo computes dst = aᵀ·b with a m×k and b m×n. dst must be
+// k×n and must not alias either operand.
+func MatMulTransATo(dst, a, b *Tensor) *Tensor {
+	return matmulTransATo(dst, a, b, false)
+}
+
+// MatMulTransAAcc computes dst += aᵀ·b. dst must be k×n and must not
+// alias either operand.
+func MatMulTransAAcc(dst, a, b *Tensor) *Tensor {
+	return matmulTransATo(dst, a, b, true)
+}
+
+func matmulTransATo(dst, a, b *Tensor, acc bool) *Tensor {
+	k, m, n := matmulDims("MatMulTransA", a, b, true, false)
+	checkDst("MatMulTransA", dst, a, b, k, n)
+	if !acc {
+		dst.Zero()
 	}
-	m, k := a.Shape[0], a.Shape[1]
-	m2, n := b.Shape[0], b.Shape[1]
-	if m != m2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA outer dimension mismatch %v x %v", a.Shape, b.Shape))
-	}
-	out := Zeros(k, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		brow := b.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
+	ad, bd, dd := a.Data, b.Data, dst.Data
+	// Sequence of rank-1 updates dst += a[i]ᵀ·b[i], blocked over the output
+	// rows so a (blockK × n) panel of dst stays cached across the i sweep.
+	// Per-element accumulation order is ascending i, independent of blocks
+	// and of the two-rows-per-sweep unroll (one add per element per i).
+	for pb := 0; pb < k; pb += blockK {
+		pend := pb + blockK
+		if pend > k {
+			pend = k
+		}
+		for i := 0; i < m; i++ {
+			arow := ad[i*k : (i+1)*k]
+			brow := bd[i*n : (i+1)*n]
+			p := pb
+			for ; p+2 <= pend; p += 2 {
+				av0, av1 := arow[p], arow[p+1]
+				orow0 := dd[p*n : (p+1)*n]
+				orow1 := dd[(p+1)*n : (p+2)*n]
+				o0 := orow0[:len(brow)]
+				o1 := orow1[:len(brow)]
+				for j, bv := range brow {
+					o0[j] += av0 * bv
+					o1[j] += av1 * bv
+				}
 			}
-			orow := out.Data[p*n : (p+1)*n]
-			for j := range brow {
-				orow[j] += av * brow[j]
+			for ; p < pend; p++ {
+				av := arow[p]
+				orow := dd[p*n : (p+1)*n]
+				o := orow[:len(brow)]
+				for j, bv := range brow {
+					o[j] += av * bv
+				}
 			}
 		}
 	}
-	return out
+	return dst
+}
+
+// matmulDims validates ranks and inner dimensions and returns the output
+// rows, the reduction length, and the output columns. transA/transB state
+// which operand is consumed transposed.
+func matmulDims(op string, a, b *Tensor, transA, transB bool) (rows, red, cols int) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: %s requires rank-2 operands, got %v x %v", op, a.Shape, b.Shape))
+	}
+	switch {
+	case transA:
+		// aᵀ·b: a is m×k holding the k×m logical operand.
+		if a.Shape[0] != b.Shape[0] {
+			panic(fmt.Sprintf("tensor: %s outer dimension mismatch %v x %v", op, a.Shape, b.Shape))
+		}
+		return a.Shape[1], a.Shape[0], b.Shape[1]
+	case transB:
+		// a·bᵀ: b is n×k.
+		if a.Shape[1] != b.Shape[1] {
+			panic(fmt.Sprintf("tensor: %s inner dimension mismatch %v x %v", op, a.Shape, b.Shape))
+		}
+		return a.Shape[0], a.Shape[1], b.Shape[0]
+	default:
+		if a.Shape[1] != b.Shape[0] {
+			panic(fmt.Sprintf("tensor: %s inner dimension mismatch %v x %v", op, a.Shape, b.Shape))
+		}
+		return a.Shape[0], a.Shape[1], b.Shape[1]
+	}
+}
+
+// checkDst validates the destination's shape and rejects the common
+// aliasing mistake of passing an operand as dst. (Partial overlaps via
+// sub-slicing are the caller's responsibility — see the ownership rules.)
+func checkDst(op string, dst, a, b *Tensor, rows, cols int) {
+	if dst.Rank() != 2 || dst.Shape[0] != rows || dst.Shape[1] != cols {
+		panic(fmt.Sprintf("tensor: %s destination shape %v, want [%d %d]", op, dst.Shape, rows, cols))
+	}
+	if len(dst.Data) > 0 {
+		if len(a.Data) > 0 && &dst.Data[0] == &a.Data[0] {
+			panic(fmt.Sprintf("tensor: %s destination aliases operand a", op))
+		}
+		if len(b.Data) > 0 && &dst.Data[0] == &b.Data[0] {
+			panic(fmt.Sprintf("tensor: %s destination aliases operand b", op))
+		}
+	}
 }
 
 // Transpose returns the transpose of a rank-2 tensor.

@@ -16,8 +16,35 @@ import (
 // The format exists so the FL communication accountant can measure real
 // payload sizes and so middleware models can be checkpointed.
 
-// WriteTo serialises t to w and returns the number of bytes written.
+// Decode hardening limits. The header is untrusted input: without these
+// caps a 20-byte stream could declare a shape whose Numel demands a
+// multi-GiB allocation (or overflows int entirely) before a single payload
+// byte is read.
+const (
+	// MaxDecodeRank is the largest rank ReadFrom accepts.
+	MaxDecodeRank = 16
+	// MaxDecodeDim is the largest single dimension ReadFrom accepts.
+	MaxDecodeDim = 1 << 28
+	// MaxDecodeElems caps the total element count of a decoded tensor
+	// (128 MiB of float64 payload).
+	MaxDecodeElems = 1 << 24
+	// decodeChunkBytes bounds the read/decode granularity, so allocation
+	// and work grow with bytes actually present on the stream, not with
+	// what the header promises.
+	decodeChunkBytes = 1 << 20
+)
+
+// WriteTo serialises t to w and returns the number of bytes written. It
+// enforces the same shape limits as ReadFrom, so anything WriteTo emits
+// is guaranteed to round-trip — oversized tensors fail at save time, not
+// at restore time.
 func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	if len(t.Shape) > MaxDecodeRank {
+		return 0, fmt.Errorf("tensor: rank %d exceeds encodable maximum %d", len(t.Shape), MaxDecodeRank)
+	}
+	if _, err := checkedNumel(t.Shape); err != nil {
+		return 0, fmt.Errorf("tensor: shape not encodable: %w", err)
+	}
 	var n int64
 	hdr := make([]byte, 4*(1+len(t.Shape)))
 	binary.LittleEndian.PutUint32(hdr, uint32(len(t.Shape)))
@@ -41,8 +68,28 @@ func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
+// checkedNumel validates every dimension against MaxDecodeDim and returns
+// the element count, guarding the running product against overflow and the
+// MaxDecodeElems cap.
+func checkedNumel(shape []int) (int, error) {
+	n := 1
+	for _, d := range shape {
+		if d < 0 || d > MaxDecodeDim {
+			return 0, fmt.Errorf("tensor: implausible dimension %d in shape %v", d, shape)
+		}
+		if d != 0 && n > MaxDecodeElems/d {
+			return 0, fmt.Errorf("tensor: shape %v exceeds decode cap of %d elements", shape, MaxDecodeElems)
+		}
+		n *= d
+	}
+	return n, nil
+}
+
 // ReadFrom deserialises a tensor written by WriteTo, replacing t's shape
-// and data, and returns the number of bytes consumed.
+// and data, and returns the number of bytes consumed. The header is
+// validated (rank, per-dimension and total-size caps, overflow) before any
+// payload-sized allocation, and the payload is decoded in bounded chunks,
+// so a hostile or corrupt header cannot trigger a huge allocation.
 func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
 	var n int64
 	var rankBuf [4]byte
@@ -52,7 +99,7 @@ func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
 		return n, fmt.Errorf("tensor: read rank: %w", err)
 	}
 	rank := int(binary.LittleEndian.Uint32(rankBuf[:]))
-	if rank > 16 {
+	if rank > MaxDecodeRank {
 		return n, fmt.Errorf("tensor: implausible rank %d", rank)
 	}
 	dims := make([]byte, 4*rank)
@@ -65,16 +112,25 @@ func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
 	for i := range shape {
 		shape[i] = int(binary.LittleEndian.Uint32(dims[4*i:]))
 	}
-	numel := Numel(shape)
-	payload := make([]byte, 8*numel)
-	k, err = io.ReadFull(r, payload)
-	n += int64(k)
+	numel, err := checkedNumel(shape)
 	if err != nil {
-		return n, fmt.Errorf("tensor: read payload: %w", err)
+		return n, err
 	}
-	data := make([]float64, numel)
-	for i := range data {
-		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	data := make([]float64, 0, min(numel, decodeChunkBytes/8))
+	buf := make([]byte, min(8*numel, decodeChunkBytes))
+	for len(data) < numel {
+		want := 8 * (numel - len(data))
+		if want > len(buf) {
+			want = len(buf)
+		}
+		k, err = io.ReadFull(r, buf[:want])
+		n += int64(k)
+		if err != nil {
+			return n, fmt.Errorf("tensor: read payload: %w", err)
+		}
+		for off := 0; off < want; off += 8 {
+			data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])))
+		}
 	}
 	t.Shape = shape
 	t.Data = data

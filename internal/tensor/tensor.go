@@ -3,9 +3,17 @@
 // matrix multiplication, im2col/col2im for convolutions, reductions, and a
 // deterministic random source for reproducible experiments.
 //
-// Tensors use a flat row-major backing slice. All operations are
-// single-threaded and allocation-explicit; hot paths (matmul, im2col)
-// avoid bounds checks where the compiler can prove them away.
+// Tensors use a flat row-major backing slice. Every hot-path kernel has a
+// destination-passing form (AddTo, LerpTo, MatMulTo, MatMulAcc, ...) that
+// writes into a caller-owned buffer, and the package provides two
+// recycling facilities — Ensure for long-lived per-layer buffers and the
+// GetScratch/PutScratch arena for call-scoped temporaries — so
+// steady-state training allocates nothing per batch. Matrix multiplies
+// are cache-blocked; small multiplies run serially (jobs are parallelised
+// one level up by the fl worker pool), while large standalone multiplies
+// fan out over row chunks (see MatMulWorkers) with bit-identical results
+// at every worker count. Kernels perform no value-dependent shortcuts:
+// 0·NaN and 0·Inf propagate per IEEE-754 instead of being masked.
 package tensor
 
 import (
@@ -52,7 +60,10 @@ func Numel(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			// Copy before formatting: referencing shape itself in the panic
+			// would make every caller's variadic shape slice escape to the
+			// heap, defeating the zero-allocation hot path.
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", append([]int(nil), shape...)))
 		}
 		n *= d
 	}
