@@ -118,6 +118,25 @@ func NewFedCross(opts FedCrossOptions) (*FedCross, error) { return core.New(opts
 // CosineSimilarity is the default model-similarity measure.
 func CosineSimilarity(a, b ParamVector) float64 { return core.CosineSimilarity(a, b) }
 
+// SimilarityMeasure couples a pairwise similarity with the fused form the
+// per-round Gram pass uses; see core.Measure.
+type SimilarityMeasure = core.Measure
+
+// CosineMeasure is the default similarity measure (what the paper names).
+func CosineMeasure() SimilarityMeasure { return core.CosineMeasure() }
+
+// PaperMeasure is the paper's printed sum-of-norms formula.
+func PaperMeasure() SimilarityMeasure { return core.PaperMeasure() }
+
+// EuclideanMeasure is negated L2 distance.
+func EuclideanMeasure() SimilarityMeasure { return core.EuclideanMeasure() }
+
+// SimilarityByName resolves a measure for flags ("cosine", "paper",
+// "euclidean").
+func SimilarityByName(name string) (SimilarityMeasure, error) {
+	return core.SimilarityByName(name)
+}
+
 // CrossAggr fuses a model with its collaborative model:
 // α·v + (1−α)·v_co.
 func CrossAggr(v, vco ParamVector, alpha float64) ParamVector {

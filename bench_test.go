@@ -391,6 +391,33 @@ func BenchmarkCosineSimilarity(b *testing.B) {
 	}
 }
 
+// BenchmarkSimilarityMatrix measures the fused, norm-cached Gram pass
+// against the naive K×(K−1) pairwise loop CoModelSel used to run per
+// round (K uploads of 2^16 parameters).
+func BenchmarkSimilarityMatrix(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	const k = 10
+	w := make([]nn.ParamVector, k)
+	for i := range w {
+		w[i] = make(nn.ParamVector, 1<<16)
+		for j := range w[i] {
+			w[i][j] = rng.Normal(0, 1)
+		}
+	}
+	b.Run("gram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.NewSimMatrix(w, core.CosineMeasure(), 0)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for m := 0; m < k; m++ {
+				_ = core.CoModelSel(core.LowestSimilarity, m, 0, w, core.CosineSimilarity)
+			}
+		}
+	})
+}
+
 func BenchmarkLocalTrainingCNN(b *testing.B) {
 	cfg := data.VisionConfig{
 		Classes: 10, Features: models.VisionFeatures,

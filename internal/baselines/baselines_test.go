@@ -187,6 +187,32 @@ func TestFedGenGeneratorLearns(t *testing.T) {
 	}
 }
 
+// TestFedGenOnTokenDataset guards the seed-era bug where the generator's
+// continuous outputs reached an Embedding layer as token ids and panicked
+// ("token id -1 out of vocab"): on token datasets the augmentation and
+// distillation paths must discretise generated features first.
+func TestFedGenOnTokenDataset(t *testing.T) {
+	fed := data.GenerateShakespeare(data.ShakespeareConfig{
+		Vocab: 12, SeqLen: 5, Clients: 6, SamplesPerClient: 12,
+		TestSamples: 30, Mix: 0.6, Seed: 2,
+	})
+	env := &fl.Env{Fed: fed, Model: models.CharLSTM(12, 5, 4, 6)}
+	gen, err := NewFedGen(DefaultFedGenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Run(gen, env, testCfg(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Every augmented shard must contain only valid token ids.
+	aug := gen.augmented(fed.Clients[0])
+	for i, v := range aug.X.Data {
+		if v != float64(int(v)) || v < 0 || int(v) >= fed.Clients[0].TokenVocab {
+			t.Fatalf("augmented feature %d is not a valid token id: %v", i, v)
+		}
+	}
+}
+
 func TestCluSampSelectionProperties(t *testing.T) {
 	env := testEnv(5, 10, data.Heterogeneity{Beta: 0.5})
 	algo := NewCluSamp()

@@ -2,9 +2,11 @@ package baselines
 
 import (
 	"fmt"
+	"math"
 
 	"fedcross/internal/data"
 	"fedcross/internal/fl"
+	"fedcross/internal/models"
 	"fedcross/internal/nn"
 	"fedcross/internal/tensor"
 )
@@ -59,6 +61,10 @@ type FedGen struct {
 	genOpt  *nn.SGD
 	classes int
 	feats   int
+	// vocab is the token-id space of the federation's datasets (0 for
+	// continuous features); generated samples must be discretised into it
+	// before touching any Embedding layer.
+	vocab int
 }
 
 // NewFedGen returns a FedGen instance.
@@ -86,6 +92,7 @@ func (a *FedGen) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
 	a.global = nn.FlattenParams(env.Model.New(rng.Split()).Params())
 	a.classes = env.Fed.Classes
 	a.feats = env.Fed.Test.Features()
+	a.vocab = env.Fed.Test.TokenVocab
 	a.gen = nn.NewSequential(
 		nn.NewLinear(a.classes+a.opts.NoiseDim, a.opts.Hidden, rng.Split()),
 		nn.NewReLU(),
@@ -132,7 +139,10 @@ func (a *FedGen) Round(r int, selected []int) error {
 
 // augmented returns the client shard with generator pseudo-samples mixed
 // in (no-op while the generator is untrained in round 0 — the samples are
-// then just noise with correct labels, which slightly regularises).
+// then just noise with correct labels, which slightly regularises). On
+// token datasets the generator's continuous outputs are discretised to
+// valid ids first — feeding them to an Embedding raw panics on the first
+// negative or out-of-vocab value.
 func (a *FedGen) augmented(shard *data.Dataset) *data.Dataset {
 	n := a.opts.AugmentPerClient
 	if n == 0 {
@@ -143,10 +153,29 @@ func (a *FedGen) augmented(shard *data.Dataset) *data.Dataset {
 	x := tensor.Zeros(shard.Len()+n, w)
 	copy(x.Data, shard.X.Data)
 	copy(x.Data[shard.Len()*w:], xg.Data)
+	if shard.TokenVocab > 0 {
+		quantizeTokens(x.Data[shard.Len()*w:], shard.TokenVocab)
+	}
 	y := make([]int, 0, shard.Len()+n)
 	y = append(y, shard.Y...)
 	y = append(y, yg...)
-	return &data.Dataset{X: x, Y: y, Classes: shard.Classes}
+	return &data.Dataset{X: x, Y: y, Classes: shard.Classes, TokenVocab: shard.TokenVocab}
+}
+
+// quantizeTokens rounds generated features to the nearest token id and
+// clamps them into [0, vocab) — the discrete sampler for the augmentation
+// path. NaN (an untrained generator can emit anything) maps to id 0.
+func quantizeTokens(vals []float64, vocab int) {
+	max := float64(vocab - 1)
+	for i, v := range vals {
+		id := math.Round(v)
+		if !(id >= 0) { // catches negatives and NaN
+			id = 0
+		} else if id > max {
+			id = max
+		}
+		vals[i] = id
+	}
 }
 
 // generate draws n conditioned samples from the generator.
@@ -167,9 +196,24 @@ func (a *FedGen) generate(n int) (*tensor.Tensor, []int) {
 // trainGenerator performs GenSteps ensemble-distillation updates: the
 // generated batch must be classified as its conditioning labels by every
 // uploaded client model; the input-gradients of the ensemble loss flow
-// back through the generator.
+// back through the generator. On token datasets the pass is skipped
+// outright: token ids are not differentiable (an Embedding's input
+// gradient is identically zero), so distillation could never move the
+// generator — text runs exercise the client-side augmentation only, with
+// the generated features discretised by quantizeTokens.
 func (a *FedGen) trainGenerator(uploads []nn.ParamVector) {
-	teacher := a.env.Model.New(tensor.NewRNG(0))
+	if a.vocab > 0 {
+		return
+	}
+	pool := models.Replicas(a.env.Model)
+	rep := pool.Get()
+	defer pool.Put(rep)
+	teacher := rep.Net
+	// The teacher's own gradients are never read here, but Backward
+	// accumulates into them; clear them at lease time so the pooled
+	// replica keeps the fresh-net invariant instead of growing garbage
+	// across rounds.
+	teacher.ZeroGrads()
 	width := a.classes + a.opts.NoiseDim
 	for step := 0; step < a.opts.GenSteps; step++ {
 		in := tensor.Zeros(a.opts.GenBatch, width)

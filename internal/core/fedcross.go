@@ -53,7 +53,7 @@ type Options struct {
 	Strategy Strategy
 	// Similarity is the measure behind the similarity strategies
 	// (default cosine).
-	Similarity SimilarityFunc
+	Similarity Measure
 	// Accel selects a training-acceleration method.
 	Accel AccelMode
 	// AccelRounds is the acceleration window length (rounds).
@@ -78,7 +78,7 @@ func DefaultOptions() Options {
 	return Options{
 		Alpha:          0.99,
 		Strategy:       LowestSimilarity,
-		Similarity:     CosineSimilarity,
+		Similarity:     CosineMeasure(),
 		Accel:          AccelNone,
 		AccelRounds:    100,
 		PropellerCount: 3,
@@ -88,6 +88,9 @@ func DefaultOptions() Options {
 
 // Validate reports the first problem with the options.
 func (o Options) Validate() error {
+	if _, err := o.Similarity.normalize(); err != nil {
+		return err
+	}
 	switch {
 	case o.Alpha < 0.5 || o.Alpha >= 1:
 		return fmt.Errorf("core: alpha %v out of the paper's range [0.5, 1)", o.Alpha)
@@ -120,13 +123,22 @@ type FedCross struct {
 	// destination of the next cross-aggregation so steady-state rounds
 	// allocate no parameter-sized buffers.
 	spare []nn.ParamVector
+	// uploadBuf holds K recycled destination vectors that TrainAll
+	// flattens trained parameters into (LocalSpec.Out), replacing the
+	// per-job result allocation. The buffers are only read during the
+	// same round's aggregation, so reusing them every round is safe.
+	uploadBuf []nn.ParamVector
+	// props is the reusable propeller-model scratch list.
+	props []nn.ParamVector
 }
 
 // New constructs a FedCross instance with the given options.
 func New(opts Options) (*FedCross, error) {
-	if opts.Similarity == nil {
-		opts.Similarity = CosineSimilarity
+	sim, err := opts.Similarity.normalize()
+	if err != nil {
+		return nil, err
 	}
+	opts.Similarity = sim
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -204,6 +216,7 @@ func (f *FedCross) Round(r int, selected []int) error {
 	// the streams are identical at every parallelism level. A dropped
 	// client (-1) leaves its middleware model untrained this round
 	// (v_i = w_i), the natural fault-tolerant reading of Algorithm 1.
+	f.ensureUploadBuf(k, len(f.middleware[0]))
 	jobs := make([]fl.LocalJob, 0, k)
 	slots := make([]int, 0, k)
 	for i := 0; i < k; i++ {
@@ -219,6 +232,7 @@ func (f *FedCross) Round(r int, selected []int) error {
 				BatchSize: f.cfg.BatchSize,
 				LR:        f.cfg.LR,
 				Momentum:  f.cfg.Momentum,
+				Out:       f.uploadBuf[i],
 			},
 			RNG: f.rng.Split(),
 		})
@@ -238,12 +252,30 @@ func (f *FedCross) Round(r int, selected []int) error {
 	return nil
 }
 
+// ensureUploadBuf sizes the recycled upload destinations for K models of
+// n parameters (a no-op at steady state).
+func (f *FedCross) ensureUploadBuf(k, n int) {
+	if len(f.uploadBuf) != k {
+		f.uploadBuf = make([]nn.ParamVector, k)
+	}
+	for i := range f.uploadBuf {
+		if len(f.uploadBuf[i]) != n {
+			f.uploadBuf[i] = make(nn.ParamVector, n)
+		}
+	}
+}
+
 // aggregate applies cross-aggregation (with any active acceleration) to
 // the uploads and returns the next round's middleware list. The
 // destination vectors are recycled from the round-before-last's
 // middleware storage (f.spare), which nothing references any more: the
-// current round's uploads alias only freshly trained vectors or the
+// current round's uploads alias only recycled upload buffers or the
 // *current* middleware list, never the spare one.
+//
+// When a similarity strategy is active, the K×K score matrix is built
+// once here — in parallel, with per-upload norms cached — and consumed by
+// every selection; CoModelSelMatrix scans it exactly like the naive loop,
+// so the round is bit-identical to per-selection recomputation.
 func (f *FedCross) aggregate(r int, uploads []nn.ParamVector) []nn.ParamVector {
 	k := len(uploads)
 	n := len(uploads[0])
@@ -259,12 +291,21 @@ func (f *FedCross) aggregate(r int, uploads []nn.ParamVector) []nn.ParamVector {
 	f.spare = f.middleware
 	alpha := f.effectiveAlpha(r)
 	usePropeller := f.propellerActive(r)
+	var gram *SimMatrix
+	if !usePropeller && (f.opts.Strategy == HighestSimilarity || f.opts.Strategy == LowestSimilarity) {
+		gram = NewSimMatrix(uploads, f.opts.Similarity, f.cfg.Workers())
+	}
 	for i := 0; i < k; i++ {
 		if usePropeller {
 			f.propellerAggrTo(next[i], i, r, uploads, alpha)
 			continue
 		}
-		co := CoModelSel(f.opts.Strategy, i, r, uploads, f.opts.Similarity)
+		var co int
+		if gram != nil {
+			co = CoModelSelMatrix(f.opts.Strategy, i, r, gram)
+		} else {
+			co = CoModelSel(f.opts.Strategy, i, r, uploads, f.opts.Similarity.Pair)
+		}
 		nn.LerpVectorsTo(next[i], uploads[i], uploads[co], alpha)
 	}
 	return next
@@ -323,12 +364,12 @@ func (f *FedCross) propellerAggrTo(dst nn.ParamVector, i, r int, uploads []nn.Pa
 	if p > k-1 {
 		p = k - 1
 	}
-	props := make([]nn.ParamVector, 0, p)
+	f.props = f.props[:0]
 	for step := 0; step < p; step++ {
 		j := CoModelSel(InOrder, i, r+step, uploads, nil)
-		props = append(props, uploads[j])
+		f.props = append(f.props, uploads[j])
 	}
-	nn.MeanVectorsTo(dst, props)
+	nn.MeanVectorsTo(dst, f.props)
 	nn.LerpVectorsTo(dst, uploads[i], dst, alpha)
 }
 

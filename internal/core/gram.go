@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"fedcross/internal/fl"
+	"fedcross/internal/nn"
+)
+
+// SimMatrix caches the K×K pairwise similarity scores of one round's
+// uploads, so CoModelSel's per-model scans read precomputed cells instead
+// of re-walking full parameter vectors — Algorithm 1 consults the scores
+// K times per round, and the naive loop recomputed every pair twice.
+//
+// Invalidation rule: a SimMatrix (and the per-upload norm cache built
+// while filling it) is valid only for the exact upload list it was built
+// from. Uploads are frozen between training and aggregation, so FedCross
+// builds the matrix once per round inside aggregate and drops it before
+// anything can mutate a vector; holding one across rounds is a bug.
+type SimMatrix struct {
+	// K is the number of uploads.
+	K int
+	// s is the row-major K×K score matrix; the diagonal is unused (a
+	// model never collaborates with itself).
+	s []float64
+}
+
+// At returns the similarity of uploads i and j.
+func (m *SimMatrix) At(i, j int) float64 { return m.s[i*m.K+j] }
+
+// NewSimMatrix scores every pair of uploads under measure m, in parallel
+// across at most workers goroutines. For measures with a FromDot form the
+// pass is fused and norm-cached: K squared norms are computed once, then
+// each unordered pair costs a single dot product — cells are bit-identical
+// to m.Pair (the nn kernels accumulate in one fixed order whether fused or
+// separate). Measures without FromDot are scored with m.Pair per ordered
+// pair, preserving exactness for asymmetric custom measures. Every cell is
+// a pure function of its pair, so the result is independent of workers and
+// scheduling.
+func NewSimMatrix(w []nn.ParamVector, m Measure, workers int) *SimMatrix {
+	k := len(w)
+	if k < 2 {
+		panic(fmt.Sprintf("core: NewSimMatrix requires at least 2 models, got %d", k))
+	}
+	norm, err := m.normalize()
+	if err != nil {
+		panic(err.Error())
+	}
+	m = norm
+	sm := &SimMatrix{K: k, s: make([]float64, k*k)}
+	if m.FromDot != nil {
+		normsSq := make([]float64, k)
+		fl.ParallelFor(k, workers, func(i int) { normsSq[i] = w[i].NormSq() })
+		fl.ParallelFor(k*(k-1)/2, workers, func(p int) {
+			i, j := pairIndex(p, k)
+			s := m.FromDot(w[i].Dot(w[j]), normsSq[i], normsSq[j])
+			sm.s[i*k+j], sm.s[j*k+i] = s, s
+		})
+		return sm
+	}
+	fl.ParallelFor(k*k, workers, func(p int) {
+		i, j := p/k, p%k
+		if i != j {
+			sm.s[p] = m.Pair(w[i], w[j])
+		}
+	})
+	return sm
+}
+
+// pairIndex maps a flat index p in [0, k(k-1)/2) to the pair (i, j) with
+// i < j, enumerating the strict upper triangle row by row.
+func pairIndex(p, k int) (int, int) {
+	i := 0
+	for p >= k-1-i {
+		p -= k - 1 - i
+		i++
+	}
+	return i, i + 1 + p
+}
+
+// CoModelSelMatrix is CoModelSel reading scores from a precomputed
+// similarity matrix. The scan order and tie-breaking (first best in
+// ascending j) are identical to the naive loop, so given a matrix whose
+// cells equal the pairwise scores, the selection is identical too —
+// including NaN cells, which can never displace an earlier best.
+func CoModelSelMatrix(strategy Strategy, i, r int, m *SimMatrix) int {
+	k := m.K
+	if i < 0 || i >= k {
+		panic(fmt.Sprintf("core: CoModelSelMatrix index %d out of range [0,%d)", i, k))
+	}
+	switch strategy {
+	case InOrder:
+		return (i + (r%(k-1) + 1)) % k
+	case HighestSimilarity, LowestSimilarity:
+		best := -1
+		var bestScore float64
+		for j := 0; j < k; j++ {
+			if j == i {
+				continue
+			}
+			s := m.At(i, j)
+			if best == -1 ||
+				(strategy == HighestSimilarity && s > bestScore) ||
+				(strategy == LowestSimilarity && s < bestScore) {
+				best, bestScore = j, s
+			}
+		}
+		return best
+	default:
+		panic(fmt.Sprintf("core: unknown strategy %v", strategy))
+	}
+}

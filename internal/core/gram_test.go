@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+// gramUploads builds a pathological upload list: random vectors plus a
+// zero vector (zero-norm edge) and a NaN-poisoned one, with an odd length
+// so the kernels' unrolled remainder path runs.
+func gramUploads() []nn.ParamVector {
+	rng := tensor.NewRNG(7)
+	const k, n = 6, 37
+	w := make([]nn.ParamVector, k)
+	for i := range w {
+		w[i] = make(nn.ParamVector, n)
+		for j := range w[i] {
+			w[i][j] = rng.Normal(0, 1)
+		}
+	}
+	for j := range w[2] {
+		w[2][j] = 0 // zero-norm upload
+	}
+	w[4][13] = math.NaN() // corrupted upload
+	return w
+}
+
+// TestSimMatrixMatchesNaive pins the Gram pass's exactness contract: for
+// every measure, worker count and cell, the cached matrix equals the
+// naive pairwise call — including the zero-norm and NaN edge cases — and
+// matrix-based selection equals the naive CoModelSel loop for all three
+// strategies.
+func TestSimMatrixMatchesNaive(t *testing.T) {
+	w := gramUploads()
+	k := len(w)
+	for _, meas := range []Measure{CosineMeasure(), PaperMeasure(), EuclideanMeasure()} {
+		for _, workers := range []int{1, 4} {
+			m := NewSimMatrix(w, meas, workers)
+			for i := 0; i < k; i++ {
+				for j := 0; j < k; j++ {
+					if i == j {
+						continue
+					}
+					want := meas.Pair(w[i], w[j])
+					got := m.At(i, j)
+					if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+						t.Fatalf("%s workers=%d cell (%d,%d): matrix %v, naive %v",
+							meas.Name, workers, i, j, got, want)
+					}
+				}
+			}
+			for r := 0; r < 2*k; r++ {
+				for i := 0; i < k; i++ {
+					for _, s := range []Strategy{InOrder, HighestSimilarity, LowestSimilarity} {
+						naive := CoModelSel(s, i, r, w, meas.Pair)
+						if got := CoModelSelMatrix(s, i, r, m); got != naive {
+							t.Fatalf("%s workers=%d strategy %v r=%d i=%d: matrix picked %d, naive %d",
+								meas.Name, workers, s, r, i, got, naive)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSimMatrixDefaultsToCosine mirrors CoModelSel's nil-similarity
+// default: a zero-valued Measure scores with cosine.
+func TestSimMatrixDefaultsToCosine(t *testing.T) {
+	w := gramUploads()
+	m := NewSimMatrix(w, Measure{}, 2)
+	if got, want := m.At(0, 1), CosineSimilarity(w[0], w[1]); got != want {
+		t.Fatalf("default measure: got %v, want cosine %v", got, want)
+	}
+}
+
+// TestSimMatrixCustomAsymmetric pins the fallback path's ordered-pair
+// exactness: a measure without FromDot — even an asymmetric one — must
+// fill every directed cell with its own Pair call.
+func TestSimMatrixCustomAsymmetric(t *testing.T) {
+	w := gramUploads()
+	asym := Measure{Name: "first-coord", Pair: func(a, b nn.ParamVector) float64 {
+		return a[0] - 2*b[0]
+	}}
+	m := NewSimMatrix(w, asym, 3)
+	for i := range w {
+		for j := range w {
+			if i == j {
+				continue
+			}
+			if got, want := m.At(i, j), asym.Pair(w[i], w[j]); got != want {
+				t.Fatalf("asymmetric cell (%d,%d): got %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestPairlessMeasureRejected guards against a partially built Measure
+// (FromDot or Name without Pair) being silently rescored with cosine.
+func TestPairlessMeasureRejected(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Similarity = Measure{Name: "mysim", FromDot: func(dot, aa, bb float64) float64 { return dot }}
+	if _, err := New(opts); err == nil {
+		t.Fatal("expected New to reject a measure without Pair")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected NewSimMatrix to panic on a measure without Pair")
+		}
+	}()
+	NewSimMatrix(gramUploads(), Measure{Name: "mysim"}, 1)
+}
+
+func TestPairIndexCoversUpperTriangle(t *testing.T) {
+	for _, k := range []int{2, 3, 5, 8} {
+		seen := map[[2]int]bool{}
+		for p := 0; p < k*(k-1)/2; p++ {
+			i, j := pairIndex(p, k)
+			if i < 0 || j <= i || j >= k {
+				t.Fatalf("k=%d p=%d: bad pair (%d,%d)", k, p, i, j)
+			}
+			seen[[2]int{i, j}] = true
+		}
+		if len(seen) != k*(k-1)/2 {
+			t.Fatalf("k=%d: %d distinct pairs, want %d", k, len(seen), k*(k-1)/2)
+		}
+	}
+}

@@ -22,6 +22,12 @@ type Dataset struct {
 	Y []int
 	// Classes is the number of distinct labels.
 	Classes int
+	// TokenVocab, when positive, marks the features as integer token ids
+	// in [0, TokenVocab) stored as float64 (the text datasets). Synthetic
+	// data injected into such a dataset — FedGen's generator
+	// augmentation — must be discretised to valid ids first; 0 means
+	// continuous features.
+	TokenVocab int
 }
 
 // Len returns the number of samples.
@@ -48,7 +54,7 @@ func (d *Dataset) Subset(idx []int) *Dataset {
 		copy(x.Data[i*w:(i+1)*w], d.X.Data[j*w:(j+1)*w])
 		y[i] = d.Y[j]
 	}
-	return &Dataset{X: x, Y: y, Classes: d.Classes}
+	return &Dataset{X: x, Y: y, Classes: d.Classes, TokenVocab: d.TokenVocab}
 }
 
 // Batch copies the rows idx into a (len(idx) × D) tensor plus labels,

@@ -73,7 +73,7 @@ func GenerateShakespeare(cfg ShakespeareConfig) *Federated {
 			}
 			y[i] = seq[cfg.SeqLen]
 		}
-		return &Dataset{X: x, Y: y, Classes: cfg.Vocab}
+		return &Dataset{X: x, Y: y, Classes: cfg.Vocab, TokenVocab: cfg.Vocab}
 	}
 
 	clients := make([]*Dataset, cfg.Clients)
@@ -96,7 +96,7 @@ func GenerateShakespeare(cfg ShakespeareConfig) *Federated {
 	return &Federated{
 		Name:    "synth-shakespeare",
 		Clients: clients,
-		Test:    &Dataset{X: xt, Y: yt, Classes: cfg.Vocab},
+		Test:    &Dataset{X: xt, Y: yt, Classes: cfg.Vocab, TokenVocab: cfg.Vocab},
 		Classes: cfg.Vocab,
 	}
 }
@@ -171,7 +171,7 @@ func GenerateSent140(cfg Sent140Config) *Federated {
 			y[i] = label
 			makeTweet(crng, label, topicBase, x.Data[i*cfg.SeqLen:(i+1)*cfg.SeqLen])
 		}
-		clients[u] = &Dataset{X: x, Y: y, Classes: 2}
+		clients[u] = &Dataset{X: x, Y: y, Classes: 2, TokenVocab: cfg.Vocab}
 	}
 
 	testRNG := rng.Split()
@@ -186,7 +186,7 @@ func GenerateSent140(cfg Sent140Config) *Federated {
 	return &Federated{
 		Name:    "synth-sent140",
 		Clients: clients,
-		Test:    &Dataset{X: xt, Y: yt, Classes: 2},
+		Test:    &Dataset{X: xt, Y: yt, Classes: 2, TokenVocab: cfg.Vocab},
 		Classes: 2,
 	}
 }

@@ -108,7 +108,7 @@ func RunAblationShuffle(opts AblationOptions) (*AblationResult, error) {
 // RunAblationSimilarity compares the three similarity measures under the
 // lowest-similarity strategy.
 func RunAblationSimilarity(opts AblationOptions) (*AblationResult, error) {
-	mk := func(sim core.SimilarityFunc) core.Options {
+	mk := func(sim core.Measure) core.Options {
 		o := core.DefaultOptions()
 		o.Strategy = core.LowestSimilarity
 		o.Similarity = sim
@@ -117,9 +117,9 @@ func RunAblationSimilarity(opts AblationOptions) (*AblationResult, error) {
 	return runVariants(opts,
 		"Ablation — similarity measure behind lowest-similarity selection",
 		map[string]core.Options{
-			"cosine":    mk(core.CosineSimilarity),
-			"paper":     mk(core.PaperSimilarity),
-			"euclidean": mk(core.EuclideanSimilarity),
+			"cosine":    mk(core.CosineMeasure()),
+			"paper":     mk(core.PaperMeasure()),
+			"euclidean": mk(core.EuclideanMeasure()),
 		},
 		[]string{"cosine", "paper", "euclidean"})
 }

@@ -2,7 +2,6 @@ package fl
 
 import (
 	"fmt"
-	"sync"
 
 	"fedcross/internal/data"
 	"fedcross/internal/models"
@@ -27,6 +26,12 @@ type LocalSpec struct {
 	// GradCorrection, when non-nil, is added to the gradient at every
 	// step (flat, aligned with the parameter vector).
 	GradCorrection nn.ParamVector
+	// Out, when non-nil, is the caller-owned destination for
+	// LocalResult.Params (it must have exactly Init's length). Algorithms
+	// that recycle upload buffers across rounds (FedCross) set it so the
+	// steady-state round allocates no parameter-sized vectors; when nil,
+	// TrainLocal allocates a fresh vector.
+	Out nn.ParamVector
 }
 
 // LocalResult reports what a client training job produced.
@@ -41,28 +46,40 @@ type LocalResult struct {
 	Samples int
 }
 
-// TrainLocal runs one client's local training: it reconstructs the
-// architecture, loads spec.Init, and runs spec.Epochs epochs of mini-batch
-// SGD on shard. It returns the trained parameters; spec.Init is never
-// mutated.
+// TrainLocal runs one client's local training: it leases a long-lived
+// replica of the architecture from the process-wide pool, loads spec.Init
+// over its weights, and runs spec.Epochs epochs of mini-batch SGD on
+// shard. It returns the trained parameters; spec.Init is never mutated.
+//
+// The replica lease is invisible to callers: weights and optimizer state
+// are fully reset, the job RNG is consumed only by batch shuffling (never
+// by construction), and the result is bit-identical whether the pool hit
+// or missed.
 func TrainLocal(factory models.Factory, shard *data.Dataset, spec LocalSpec, rng *tensor.RNG) (LocalResult, error) {
-	if shard.Len() == 0 {
+	switch {
+	case shard.Len() == 0:
 		return LocalResult{}, fmt.Errorf("fl: TrainLocal: empty shard")
+	case spec.LR <= 0:
+		return LocalResult{}, fmt.Errorf("fl: TrainLocal: learning rate %v must be positive", spec.LR)
+	case spec.Prox > 0 && len(spec.ProxRef) != len(spec.Init):
+		return LocalResult{}, fmt.Errorf("fl: TrainLocal: prox ref length %d != init %d", len(spec.ProxRef), len(spec.Init))
+	case spec.GradCorrection != nil && len(spec.GradCorrection) != len(spec.Init):
+		return LocalResult{}, fmt.Errorf("fl: TrainLocal: correction length %d != init %d", len(spec.GradCorrection), len(spec.Init))
+	case spec.Out != nil && len(spec.Out) != len(spec.Init):
+		return LocalResult{}, fmt.Errorf("fl: TrainLocal: out length %d != init %d", len(spec.Out), len(spec.Init))
 	}
-	net := factory.New(rng)
+	pool := models.Replicas(factory)
+	rep := pool.Get()
+	defer pool.Put(rep)
+	net := rep.Net
 	if err := nn.LoadParams(net.Params(), spec.Init); err != nil {
 		return LocalResult{}, fmt.Errorf("fl: TrainLocal: %w", err)
 	}
-	if spec.Prox > 0 && len(spec.ProxRef) != len(spec.Init) {
-		return LocalResult{}, fmt.Errorf("fl: TrainLocal: prox ref length %d != init %d", len(spec.ProxRef), len(spec.Init))
-	}
-	if spec.GradCorrection != nil && len(spec.GradCorrection) != len(spec.Init) {
-		return LocalResult{}, fmt.Errorf("fl: TrainLocal: correction length %d != init %d", len(spec.GradCorrection), len(spec.Init))
-	}
+	rep.Reset(spec.LR, spec.Momentum)
 
 	params := net.Params()
 	grads := net.Grads()
-	opt := nn.NewSGD(spec.LR, spec.Momentum)
+	opt := rep.Opt
 	steps := 0
 	lossSum := 0.0
 
@@ -89,8 +106,12 @@ func TrainLocal(factory models.Factory, shard *data.Dataset, spec LocalSpec, rng
 		})
 	}
 
+	out := spec.Out
+	if out == nil {
+		out = make(nn.ParamVector, len(spec.Init))
+	}
 	res := LocalResult{
-		Params:  nn.FlattenParams(params),
+		Params:  nn.FlattenParamsInto(out, params),
 		Steps:   steps,
 		Samples: shard.Len(),
 	}
@@ -137,7 +158,9 @@ func Evaluate(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, batc
 
 // evaluate is Evaluate with an explicit worker budget (0 means all cores,
 // 1 means serial — used by EvaluatePerClient, which parallelises one
-// level up, over clients).
+// level up, over clients). Forward passes mutate layer activations, so
+// each worker leases its own replica from the architecture pool, loaded
+// with vec once and reused for every batch that worker claims.
 func evaluate(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, batchSize, workers int) (acc, loss float64, err error) {
 	if ds.Len() == 0 {
 		return 0, 0, fmt.Errorf("fl: Evaluate: empty dataset")
@@ -145,44 +168,53 @@ func evaluate(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, batc
 	if batchSize <= 0 {
 		batchSize = 64
 	}
-	// Build one net eagerly to surface shape mismatches, then share it
-	// through a pool: forward passes mutate layer activations, so each
-	// in-flight batch needs its own instance, but idle instances can be
-	// reused across batches exactly as the serial loop reused its one net.
-	first := factory.New(tensor.NewRNG(0))
-	if err := nn.LoadParams(first.Params(), vec); err != nil {
-		return 0, 0, fmt.Errorf("fl: Evaluate: %w", err)
-	}
-	netPool := sync.Pool{New: func() any {
-		net := factory.New(tensor.NewRNG(0))
-		_ = nn.LoadParams(net.Params(), vec) // length verified above
-		return net
-	}}
-	netPool.Put(first)
-
 	n := ds.Len()
+	feat := ds.Features()
 	numBatches := (n + batchSize - 1) / batchSize
+	workers = effectiveWorkers(numBatches, workers)
+
+	pool := models.Replicas(factory)
+	reps := make([]*models.Replica, workers)
+	defer func() {
+		for _, r := range reps {
+			pool.Put(r) // Put tolerates the nils of an early return
+		}
+	}()
+	for i := range reps {
+		reps[i] = pool.Get()
+		if err := nn.LoadParams(reps[i].Net.Params(), vec); err != nil {
+			return 0, 0, fmt.Errorf("fl: Evaluate: %w", err)
+		}
+	}
+
 	accW := make([]float64, numBatches)
 	lossW := make([]float64, numBatches)
-	parallelFor(numBatches, workers, func(b int) {
-		net := netPool.Get().(*nn.Sequential)
-		defer netPool.Put(net)
+	idxBufs := make([][]int, workers)
+	yBufs := make([][]int, workers)
+	for i := range idxBufs {
+		idxBufs[i] = make([]int, batchSize)
+		yBufs[i] = make([]int, batchSize)
+	}
+	parallelForWorker(numBatches, workers, func(w, b int) {
 		start := b * batchSize
 		end := start + batchSize
 		if end > n {
 			end = n
 		}
-		idx := make([]int, 0, end-start)
-		for i := start; i < end; i++ {
-			idx = append(idx, i)
+		idx := idxBufs[w][:end-start]
+		for i := range idx {
+			idx[i] = start + i
 		}
-		x, y := ds.Batch(idx)
-		logits := net.Forward(x, false)
-		l, _ := nn.SoftmaxCrossEntropy(logits, y)
+		y := yBufs[w][:end-start]
+		x := tensor.GetScratch(end-start, feat)
+		defer tensor.PutScratch(x)
+		ds.BatchInto(x, y, idx)
+		logits := reps[w].Net.Forward(x, false)
+		l := nn.SoftmaxCrossEntropyLoss(logits, y)
 		a := nn.Accuracy(logits, y)
-		w := float64(len(y))
-		accW[b] = a * w
-		lossW[b] = l * w
+		weight := float64(len(y))
+		accW[b] = a * weight
+		lossW[b] = l * weight
 	})
 	correctWeighted := 0.0
 	lossWeighted := 0.0

@@ -92,15 +92,25 @@ func parallelForErr(n, workers int, fn func(i int) error) error {
 // costs; it returns once every iteration has finished. fn must be safe to
 // call concurrently for distinct i.
 func parallelFor(n, workers int, fn func(i int)) {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > n {
-		workers = n
-	}
+	parallelForWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ParallelFor exposes the engine's deterministic work-stealing loop to
+// the algorithm layer (core's Gram-matrix similarity pass). fn(i) must
+// write only state owned by iteration i, so results are independent of
+// scheduling.
+func ParallelFor(n, workers int, fn func(i int)) { parallelFor(n, workers, fn) }
+
+// parallelForWorker is parallelFor with the executing worker's index in
+// [0, effectiveWorkers(n, workers)) passed to fn, so callers can lease
+// per-worker state (evaluation replicas, index buffers) up front. Worker
+// identity must never influence results — only which scratch state an
+// iteration uses.
+func parallelForWorker(n, workers int, fn func(w, i int)) {
+	workers = effectiveWorkers(n, workers)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -108,16 +118,32 @@ func parallelFor(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+}
+
+// effectiveWorkers resolves a worker budget against the iteration count:
+// non-positive budgets mean every core, and no more workers than
+// iterations (with a floor of one).
+func effectiveWorkers(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package fl
+
+// raceEnabled reports whether the race detector is active. Under it,
+// sync.Pool deliberately drops items to widen race coverage, so
+// pool-dependent allocation counts are not meaningful.
+const raceEnabled = true

@@ -1,0 +1,115 @@
+package fl
+
+import (
+	"testing"
+
+	"fedcross/internal/models"
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+// TestTrainLocalReplicaReuse pins the replica engine's equivalence
+// contract: a job that leases a recycled replica must be bit-identical to
+// one that constructed fresh. The uniquely named factory guarantees a
+// cold pool, so the first call constructs and the second reuses what the
+// first returned.
+func TestTrainLocalReplicaReuse(t *testing.T) {
+	env := testEnv(41, 2)
+	factory := models.Factory{Name: "test-replica-equivalence-mlp-12-16-4", New: env.Model.New}
+	init := nn.FlattenParams(factory.New(tensor.NewRNG(5)).Params())
+	shard := env.Fed.Clients[0]
+	spec := LocalSpec{Init: init, Epochs: 3, BatchSize: 16, LR: 0.05, Momentum: 0.5}
+
+	fresh, err := TrainLocal(factory, shard, spec, tensor.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := TrainLocal(factory, shard, spec, tensor.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Steps != reused.Steps || fresh.MeanLoss != reused.MeanLoss {
+		t.Fatalf("replica reuse changed training: %+v vs %+v", fresh, reused)
+	}
+	for i := range fresh.Params {
+		if fresh.Params[i] != reused.Params[i] {
+			t.Fatalf("param %d differs between fresh and reused replica: %v vs %v",
+				i, fresh.Params[i], reused.Params[i])
+		}
+	}
+
+	// Both eval paths must be equally oblivious to pool state: the first
+	// Evaluate on this factory constructs eval replicas, the second
+	// reuses them.
+	a1, l1, err := Evaluate(factory, fresh.Params, env.Fed.Test, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, l2, err := Evaluate(factory, reused.Params, env.Fed.Test, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 || l1 != l2 {
+		t.Fatalf("Evaluate differs between cold and warm pool: %v/%v vs %v/%v", a1, l1, a2, l2)
+	}
+	envU := &Env{Fed: env.Fed, Model: factory}
+	p1, err := EvaluatePerClient(envU, fresh.Params, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := EvaluatePerClient(envU, reused.Params, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Mean != p2.Mean || p1.Worst != p2.Worst || p1.Std != p2.Std {
+		t.Fatalf("EvaluatePerClient differs between cold and warm pool:\n%+v\n%+v", p1, p2)
+	}
+}
+
+// TestTrainLocalSteadyStateAllocs pins the leased-replica hot path: once
+// the pool and scratch arena are warm and the caller supplies an Out
+// buffer, a whole local-training job allocates (next to) nothing — only
+// the per-epoch batch permutation remains.
+func TestTrainLocalSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool is deliberately lossy under the race detector, so pool hits are not guaranteed")
+	}
+	env := testEnv(42, 2)
+	init := nn.FlattenParams(env.Model.New(tensor.NewRNG(6)).Params())
+	out := make(nn.ParamVector, len(init))
+	shard := env.Fed.Clients[0]
+	spec := LocalSpec{Init: init, Epochs: 1, BatchSize: 16, LR: 0.05, Momentum: 0.5, Out: out}
+	rng := tensor.NewRNG(3)
+	run := func() {
+		if _, err := TrainLocal(env.Model, shard, spec, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run() // warm the replica pool and scratch arena
+	}
+	if allocs := testing.AllocsPerRun(20, run); allocs > 12 {
+		t.Fatalf("steady-state TrainLocal allocates %v objects/op, want <= 12", allocs)
+	}
+}
+
+// TestTrainLocalOutBuffer pins the recycled-destination contract: the
+// result aliases the provided buffer, and a wrong-length buffer is
+// rejected before training.
+func TestTrainLocalOutBuffer(t *testing.T) {
+	env := testEnv(43, 2)
+	init := nn.FlattenParams(env.Model.New(tensor.NewRNG(7)).Params())
+	out := make(nn.ParamVector, len(init))
+	spec := LocalSpec{Init: init, Epochs: 1, BatchSize: 16, LR: 0.05, Out: out}
+	res, err := TrainLocal(env.Model, env.Fed.Clients[0], spec, tensor.NewRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &res.Params[0] != &out[0] {
+		t.Fatal("result must be written into the provided Out buffer")
+	}
+	spec.Out = out[:len(out)-1]
+	if _, err := TrainLocal(env.Model, env.Fed.Clients[0], spec, tensor.NewRNG(8)); err == nil {
+		t.Fatal("expected error for wrong Out length")
+	}
+}

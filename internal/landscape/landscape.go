@@ -128,7 +128,10 @@ func Scan2D(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, opts O
 // tensor's norm (the filter-normalisation that makes scans comparable
 // across architectures and checkpoints).
 func normalizedDirection(factory models.Factory, vec nn.ParamVector, rng *tensor.RNG) nn.ParamVector {
-	net := factory.New(tensor.NewRNG(0))
+	pool := models.Replicas(factory)
+	rep := pool.Get()
+	defer pool.Put(rep)
+	net := rep.Net
 	if err := nn.LoadParams(net.Params(), vec); err != nil {
 		panic(fmt.Sprintf("landscape: direction: %v", err))
 	}

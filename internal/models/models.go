@@ -36,7 +36,9 @@ const (
 
 // Factory constructs fresh, randomly initialised network instances.
 type Factory struct {
-	// Name identifies the architecture in configs and reports.
+	// Name identifies the architecture in configs and reports, and keys
+	// the process-wide replica pool (Replicas) — it must therefore encode
+	// every architectural dimension, as the stock factories do.
 	Name string
 	// New builds a fresh instance; equal RNG seeds give equal weights.
 	New func(rng *tensor.RNG) *nn.Sequential
@@ -134,7 +136,7 @@ func MLP(in, hidden, classes int) Factory {
 // next-character softmax head over the vocabulary.
 func CharLSTM(vocab, seqLen, embed, hidden int) Factory {
 	return Factory{
-		Name: fmt.Sprintf("char-lstm-v%d-t%d", vocab, seqLen),
+		Name: fmt.Sprintf("char-lstm-v%d-t%d-e%d-h%d", vocab, seqLen, embed, hidden),
 		New: func(rng *tensor.RNG) *nn.Sequential {
 			return nn.NewSequential(
 				nn.NewEmbedding(vocab, embed, rng),
@@ -149,7 +151,7 @@ func CharLSTM(vocab, seqLen, embed, hidden int) Factory {
 // sentiment head.
 func SentLSTM(vocab, seqLen, embed, hidden int) Factory {
 	return Factory{
-		Name: fmt.Sprintf("sent-lstm-v%d-t%d", vocab, seqLen),
+		Name: fmt.Sprintf("sent-lstm-v%d-t%d-e%d-h%d", vocab, seqLen, embed, hidden),
 		New: func(rng *tensor.RNG) *nn.Sequential {
 			return nn.NewSequential(
 				nn.NewEmbedding(vocab, embed, rng),

@@ -1,0 +1,92 @@
+package models
+
+import (
+	"sync"
+
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+// Replica is a long-lived network instance with its optimizer, leased
+// from a ReplicaPool and reused across training and evaluation jobs.
+// Construction is the expensive part of a client job — every layer
+// allocates weight, gradient and activation tensors — so the round engine
+// recycles whole instances instead of calling Factory.New per job.
+//
+// A leased replica carries no usable state: its weights are whatever the
+// previous job left behind and must be overwritten with nn.LoadParams,
+// and Reset must run before training so the optimizer starts cold. After
+// both, the replica is indistinguishable from a freshly constructed
+// network (layer activation buffers are shape-refreshed by every forward
+// pass, so their stale contents never leak). The equivalence is pinned by
+// TestTrainLocalReplicaReuse.
+type Replica struct {
+	// Net is the reusable network instance.
+	Net *nn.Sequential
+	// Opt is the instance-bound SGD state (velocity buffers are keyed by
+	// parameter position, so the optimizer stays with its network).
+	Opt *nn.SGD
+}
+
+// Reset configures the optimizer for a new training job and zeroes its
+// momentum in place, completing the lease-time reset together with the
+// caller's nn.LoadParams.
+func (r *Replica) Reset(lr, momentum float64) {
+	r.Opt.LR = lr
+	r.Opt.Momentum = momentum
+	r.Opt.WeightDecay = 0
+	r.Opt.ZeroVelocity()
+}
+
+// ReplicaPool recycles replicas of one architecture. It is
+// concurrency-safe; the replicas it lends are not — each leased replica
+// belongs to exactly one goroutine between Get and Put.
+type ReplicaPool struct {
+	factory Factory
+	pool    sync.Pool
+}
+
+// NewReplicaPool returns an empty pool for the factory's architecture.
+func NewReplicaPool(f Factory) *ReplicaPool {
+	return &ReplicaPool{factory: f}
+}
+
+// Get leases a replica: a recycled instance when one is idle, a freshly
+// constructed one otherwise. The weights are unspecified either way —
+// callers must nn.LoadParams before use. Construction uses a throwaway
+// RNG for exactly that reason: no caller-visible randomness is consumed,
+// so a pool hit and a pool miss are indistinguishable.
+func (p *ReplicaPool) Get() *Replica {
+	if r, ok := p.pool.Get().(*Replica); ok {
+		return r
+	}
+	net := p.factory.New(tensor.NewRNG(0))
+	// The placeholder learning rate is overwritten by Reset before any
+	// Step; NewSGD only rejects non-positive rates at construction.
+	return &Replica{Net: net, Opt: nn.NewSGD(1, 0)}
+}
+
+// Put returns a leased replica to the pool. The caller must not touch the
+// replica afterwards.
+func (p *ReplicaPool) Put(r *Replica) {
+	if r != nil {
+		p.pool.Put(r)
+	}
+}
+
+// replicaPools maps Factory.Name to its process-wide ReplicaPool.
+var replicaPools sync.Map
+
+// Replicas returns the shared replica pool for the factory's
+// architecture. Pools are keyed by Factory.Name, so a name must uniquely
+// identify the full architecture — every stock factory encodes all of its
+// dimensions in its name. (A colliding name with a different parameter
+// count fails at nn.LoadParams; same-count collisions are the caller's
+// bug.)
+func Replicas(f Factory) *ReplicaPool {
+	if p, ok := replicaPools.Load(f.Name); ok {
+		return p.(*ReplicaPool)
+	}
+	p, _ := replicaPools.LoadOrStore(f.Name, NewReplicaPool(f))
+	return p.(*ReplicaPool)
+}

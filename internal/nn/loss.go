@@ -62,6 +62,41 @@ func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) (loss fl
 	return loss * invB
 }
 
+// SoftmaxCrossEntropyLoss computes the mean cross-entropy only, skipping
+// the gradient buffer — the evaluation-path form. The loss accumulation is
+// identical to SoftmaxCrossEntropyInto's, so both paths report the same
+// value for the same logits.
+func SoftmaxCrossEntropyLoss(logits *tensor.Tensor, labels []int) float64 {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropyLoss expects rank-2 logits, got %v", logits.Shape))
+	}
+	batch, classes := logits.Shape[0], logits.Shape[1]
+	if len(labels) != batch {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropyLoss: %d labels for batch %d", len(labels), batch))
+	}
+	loss := 0.0
+	for b := 0; b < batch; b++ {
+		row := logits.Data[b*classes : (b+1)*classes]
+		y := labels[b]
+		if y < 0 || y >= classes {
+			panic(fmt.Sprintf("nn: SoftmaxCrossEntropyLoss: label %d out of range [0,%d)", y, classes))
+		}
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(v - maxV)
+		}
+		loss += math.Log(sum) - (row[y] - maxV)
+	}
+	invB := 1.0 / float64(batch)
+	return loss * invB
+}
+
 // Softmax returns row-wise softmax probabilities of logits.
 func Softmax(logits *tensor.Tensor) *tensor.Tensor {
 	batch, classes := logits.Shape[0], logits.Shape[1]

@@ -19,11 +19,26 @@ func FlattenParams(params []*tensor.Tensor) ParamVector {
 	for _, p := range params {
 		n += p.Len()
 	}
-	v := make(ParamVector, 0, n)
+	return FlattenParamsInto(make(ParamVector, n), params)
+}
+
+// FlattenParamsInto copies the parameter tensors into dst, whose length
+// must equal the total element count, and returns dst. It is the
+// zero-allocation form of FlattenParams for recycled upload buffers.
+func FlattenParamsInto(dst ParamVector, params []*tensor.Tensor) ParamVector {
+	off := 0
 	for _, p := range params {
-		v = append(v, p.Data...)
+		n := p.Len()
+		if off+n > len(dst) {
+			panic(fmt.Sprintf("nn: FlattenParamsInto: destination length %d too short", len(dst)))
+		}
+		copy(dst[off:off+n], p.Data)
+		off += n
 	}
-	return v
+	if off != len(dst) {
+		panic(fmt.Sprintf("nn: FlattenParamsInto: destination length %d, model has %d", len(dst), off))
+	}
+	return dst
 }
 
 // LoadParams copies vec back into the parameter tensors. It returns an
@@ -113,32 +128,97 @@ func (v ParamVector) AXPY(alpha float64, w ParamVector) {
 	}
 }
 
+// The reduction kernels below (Dot, NormSq, DotNorms, DistanceSq) share
+// one accumulation scheme: four independent partial-sum streams fed in a
+// fixed index pattern (stream j takes indices ≡ j mod 4, the remainder
+// rides stream 0), reduced in the fixed order (s0+s1)+(s2+s3). The streams
+// break the loop-carried add dependency so the kernels run at memory
+// bandwidth, and because every kernel uses the same pattern, fused and
+// separate passes produce bit-identical sums — the property the Gram-pass
+// similarity cache relies on.
+
 // Dot returns the inner product of v and w.
 func (v ParamVector) Dot(w ParamVector) float64 {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("nn: ParamVector.Dot length mismatch %d vs %d", len(v), len(w)))
 	}
-	s := 0.0
-	for i := range v {
-		s += v[i] * w[i]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		s0 += v[i] * w[i]
+		s1 += v[i+1] * w[i+1]
+		s2 += v[i+2] * w[i+2]
+		s3 += v[i+3] * w[i+3]
 	}
-	return s
+	for ; i < len(v); i++ {
+		s0 += v[i] * w[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
+// NormSq returns ‖v‖², bit-identical to v.Dot(v).
+func (v ParamVector) NormSq() float64 { return v.Dot(v) }
+
 // Norm returns the L2 norm of v.
-func (v ParamVector) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+func (v ParamVector) Norm() float64 { return math.Sqrt(v.NormSq()) }
+
+// DotNorms returns dot(v,w), ‖v‖² and ‖w‖² in one fused pass over both
+// vectors — the one-shot similarity kernel (a cosine needs all three).
+// Each result is bit-identical to the corresponding separate call.
+func (v ParamVector) DotNorms(w ParamVector) (dot, vv, ww float64) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("nn: ParamVector.DotNorms length mismatch %d vs %d", len(v), len(w)))
+	}
+	var d0, d1, d2, d3 float64
+	var a0, a1, a2, a3 float64
+	var b0, b1, b2, b3 float64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		x0, x1, x2, x3 := v[i], v[i+1], v[i+2], v[i+3]
+		y0, y1, y2, y3 := w[i], w[i+1], w[i+2], w[i+3]
+		d0 += x0 * y0
+		d1 += x1 * y1
+		d2 += x2 * y2
+		d3 += x3 * y3
+		a0 += x0 * x0
+		a1 += x1 * x1
+		a2 += x2 * x2
+		a3 += x3 * x3
+		b0 += y0 * y0
+		b1 += y1 * y1
+		b2 += y2 * y2
+		b3 += y3 * y3
+	}
+	for ; i < len(v); i++ {
+		d0 += v[i] * w[i]
+		a0 += v[i] * v[i]
+		b0 += w[i] * w[i]
+	}
+	return (d0 + d1) + (d2 + d3), (a0 + a1) + (a2 + a3), (b0 + b1) + (b2 + b3)
+}
 
 // DistanceSq returns ‖v-w‖², the quantity Lemma 3.4's contraction bounds.
 func (v ParamVector) DistanceSq(w ParamVector) float64 {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("nn: ParamVector.DistanceSq length mismatch %d vs %d", len(v), len(w)))
 	}
-	s := 0.0
-	for i := range v {
-		d := v[i] - w[i]
-		s += d * d
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		e0 := v[i] - w[i]
+		e1 := v[i+1] - w[i+1]
+		e2 := v[i+2] - w[i+2]
+		e3 := v[i+3] - w[i+3]
+		s0 += e0 * e0
+		s1 += e1 * e1
+		s2 += e2 * e2
+		s3 += e3 * e3
 	}
-	return s
+	for ; i < len(v); i++ {
+		d := v[i] - w[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // MeanVectors averages a non-empty set of equal-length vectors — the

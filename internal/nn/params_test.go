@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fedcross/internal/tensor"
+)
+
+// TestDotNormsMatchesSeparate pins the fused-kernel contract the
+// similarity Gram pass relies on: DotNorms must be bit-identical to the
+// three separate reductions at every length (remainder paths included)
+// and must propagate NaN rather than mask it.
+func TestDotNormsMatchesSeparate(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	for _, n := range []int{0, 1, 3, 4, 5, 7, 8, 64, 1001} {
+		v := make(ParamVector, n)
+		w := make(ParamVector, n)
+		for i := 0; i < n; i++ {
+			v[i] = rng.Normal(0, 1)
+			w[i] = rng.Normal(0, 1)
+		}
+		dot, vv, ww := v.DotNorms(w)
+		if dot != v.Dot(w) || vv != v.NormSq() || ww != w.NormSq() {
+			t.Fatalf("n=%d: fused (%v,%v,%v) != separate (%v,%v,%v)",
+				n, dot, vv, ww, v.Dot(w), v.NormSq(), w.NormSq())
+		}
+	}
+	v := ParamVector{1, math.NaN(), 2}
+	w := ParamVector{1, 1, 1}
+	dot, vv, ww := v.DotNorms(w)
+	if !math.IsNaN(dot) || !math.IsNaN(vv) || ww != 3 {
+		t.Fatalf("NaN must poison the fused sums: %v %v %v", dot, vv, ww)
+	}
+}
+
+func TestFlattenParamsInto(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	net := NewSequential(NewLinear(3, 5, rng), NewReLU(), NewLinear(5, 2, rng))
+	want := FlattenParams(net.Params())
+	dst := make(ParamVector, len(want))
+	got := FlattenParamsInto(dst, net.Params())
+	if &got[0] != &dst[0] {
+		t.Fatal("FlattenParamsInto must return the destination")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []ParamVector{make(ParamVector, len(want)-1), make(ParamVector, len(want)+1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for destination length %d", len(bad))
+				}
+			}()
+			FlattenParamsInto(bad, net.Params())
+		}()
+	}
+}

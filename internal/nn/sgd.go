@@ -55,3 +55,13 @@ func (s *SGD) Step(params, grads []*tensor.Tensor) {
 // Reset clears the momentum buffers, e.g. when a fresh model is loaded
 // into the same training loop.
 func (s *SGD) Reset() { s.velocity = nil }
+
+// ZeroVelocity zeroes the momentum buffers in place, keeping their
+// storage. It is the replica-reuse reset: after it, the optimizer is
+// indistinguishable from a freshly constructed one (whose velocity starts
+// at zero) without Reset's reallocation on the next Step.
+func (s *SGD) ZeroVelocity() {
+	for _, v := range s.velocity {
+		v.Zero()
+	}
+}
