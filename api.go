@@ -55,6 +55,25 @@ type RoundMetric = fl.RoundMetric
 // CommProfile counts per-round communication payloads; see fl.CommProfile.
 type CommProfile = fl.CommProfile
 
+// TransportOptions selects the simulated wire (codec, link model, round
+// deadline); see fl.TransportOptions. Set it via Config.Transport.
+type TransportOptions = fl.TransportOptions
+
+// NetworkModel describes simulated per-client link conditions; see
+// fl.NetworkModel.
+type NetworkModel = fl.NetworkModel
+
+// NetworkByName resolves a link model from its flag spelling ("none",
+// "fiber", "wifi", "lte", "edge").
+func NetworkByName(name string) (NetworkModel, error) { return fl.NetworkByName(name) }
+
+// Codec is the model-payload compression interface; see nn.Codec.
+type Codec = nn.Codec
+
+// CodecByName resolves a codec from its flag spelling ("identity",
+// "fp16", "int8", "topk[:frac]").
+func CodecByName(name string) (Codec, error) { return nn.CodecByName(name) }
+
 // ParamVector is a flattened model parameter vector; see nn.ParamVector.
 type ParamVector = nn.ParamVector
 
@@ -189,6 +208,20 @@ func PaperProfile() Profile { return experiments.PaperProfile() }
 // DatasetNames lists the five evaluation datasets.
 func DatasetNames() []string { return experiments.DatasetNames() }
 
+// CommCurveOptions configures the communication-vs-accuracy sweep; see
+// experiments.CommCurveOptions.
+type CommCurveOptions = experiments.CommCurveOptions
+
+// CommCurveResult holds the sweep's per-codec trajectories; see
+// experiments.CommCurveResult.
+type CommCurveResult = experiments.CommCurveResult
+
+// RunCommCurve runs one algorithm under several wire codecs on identical
+// environments and reports accuracy against measured bytes on the wire.
+func RunCommCurve(opts CommCurveOptions) (*CommCurveResult, error) {
+	return experiments.RunCommCurve(opts)
+}
+
 // --- analysis ----------------------------------------------------------------
 
 // LandscapeGrid is a 2-D loss-surface slice; see landscape.Grid.
@@ -228,7 +261,9 @@ func WithPrivacy(algo Algorithm, opts PrivacyOptions) (Algorithm, error) {
 // fl.PerClientReport.
 type PerClientReport = fl.PerClientReport
 
-// EvaluatePerClient measures a model on every client's local data.
-func EvaluatePerClient(env *Env, vec ParamVector, batchSize int) (*PerClientReport, error) {
-	return fl.EvaluatePerClient(env, vec, batchSize)
+// EvaluatePerClient measures a model on every client's local data across
+// at most workers goroutines (0 means every core, the same convention as
+// Config.Parallelism). Results are identical at every worker count.
+func EvaluatePerClient(env *Env, vec ParamVector, batchSize, workers int) (*PerClientReport, error) {
+	return fl.EvaluatePerClient(env, vec, batchSize, workers)
 }

@@ -356,7 +356,39 @@ func BenchmarkRoundParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.ReportMetric(hist.Final().TestAcc, "final_acc")
+				b.ReportMetric(float64(hist.TotalBytes())/float64(prof.Rounds), "wireB/round")
 			}
+		})
+	}
+}
+
+// BenchmarkTransportCodecs measures the encode+decode cost of every wire
+// codec on a model-sized payload and reports the bytes each one puts on
+// the wire — the communication half of the perf trajectory, next to the
+// alloc/ns numbers the compute path tracks.
+func BenchmarkTransportCodecs(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	vec := make(nn.ParamVector, 1<<16)
+	for i := range vec {
+		vec[i] = rng.Normal(0, 1)
+	}
+	for _, name := range []string{"identity", "fp16", "int8", "topk"} {
+		codec, err := nn.CodecByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			buf := codec.Encode(nil, vec)
+			dst := make(nn.ParamVector, len(vec))
+			b.SetBytes(int64(len(buf)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = codec.Encode(buf[:0], vec)
+				if _, err := codec.Decode(dst, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(codec.EncodedSize(len(vec))), "wireB/payload")
 		})
 	}
 }

@@ -8,11 +8,21 @@
 //	fedsim -experiment fig5 -profile small -models cnn,resnet
 //	fedsim -experiment all -profile tiny
 //	fedsim -experiment table2 -parallel 1     # force serial rounds (same results)
+//	fedsim -experiment comm -codecs identity,int8,topk
+//	fedsim -experiment table2 -codec fp16 -net lte -deadline 30
 //
 // Profiles: tiny (seconds), small (minutes), paper (the scaled
 // paper-shaped setup; hours for the full grid). Client-local training
 // fans out across all cores by default; -parallel caps the worker count
 // without changing any result (randomness is pre-split per client).
+//
+// The simulated wire: -codec compresses every model payload (identity,
+// fp16, int8, topk[:frac]), -net draws per-client bandwidth/latency from
+// a link model (none, fiber, wifi, lte, edge), and -deadline turns
+// clients whose upload exceeds the round budget (seconds) into
+// stragglers. All three apply to every experiment; the comm experiment
+// additionally sweeps -codecs on identical runs and reports accuracy
+// against measured megabytes on the wire.
 package main
 
 import (
@@ -25,11 +35,12 @@ import (
 	"fedcross/internal/core"
 	"fedcross/internal/data"
 	"fedcross/internal/experiments"
+	"fedcross/internal/fl"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "table1", "experiment to run: table1, table2, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, ablations, all")
+		experiment = flag.String("experiment", "table1", "experiment to run: table1, table2, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, comm, ablations, all")
 		profile    = flag.String("profile", "tiny", "run scale: tiny, small, paper")
 		modelsFlag = flag.String("models", "cnn", "comma-separated vision models (cnn,resnet,vgg,mlp)")
 		datasets   = flag.String("datasets", "vision10", "comma-separated datasets for table2")
@@ -39,6 +50,10 @@ func main() {
 		rounds     = flag.Int("rounds", 0, "override the profile's round count (0 keeps profile default)")
 		seeds      = flag.Int("seeds", 0, "override the number of seeds (0 keeps profile default)")
 		parallel   = flag.Int("parallel", 0, "worker goroutines for client training/eval (0 = all cores, 1 = serial; results are identical)")
+		codec      = flag.String("codec", "identity", "wire codec for model payloads: identity, fp16, int8, topk[:frac]")
+		network    = flag.String("net", "none", "simulated link model: none, fiber, wifi, lte, edge")
+		deadline   = flag.Float64("deadline", 0, "per-round client deadline in seconds (0 = none); late uploads become stragglers")
+		codecs     = flag.String("codecs", "identity,fp16,int8,topk", "comma-separated codec sweep for the comm experiment")
 	)
 	flag.Parse()
 
@@ -53,6 +68,15 @@ func main() {
 		fatal(fmt.Errorf("-parallel %d must be non-negative", *parallel))
 	}
 	prof.Parallelism = *parallel
+	prof.Codec = *codec
+	prof.Network = *network
+	if *deadline < 0 {
+		fatal(fmt.Errorf("-deadline %v must be non-negative", *deadline))
+	}
+	prof.DeadlineSec = *deadline
+	if err := (fl.TransportOptions{Codec: prof.Codec, Network: prof.Network, DeadlineSec: prof.DeadlineSec}).Validate(); err != nil {
+		fatal(err)
+	}
 	if *seeds > 0 {
 		prof.Seeds = prof.Seeds[:0]
 		for s := 1; s <= *seeds; s++ {
@@ -60,8 +84,8 @@ func main() {
 		}
 	}
 
-	modelList := splitList(*modelsFlag)
-	datasetList := splitList(*datasets)
+	modelList := listOr(splitList(*modelsFlag), "cnn")
+	datasetList := listOr(splitList(*datasets), "vision10")
 	hetList, err := parseHets(*betas, *iid)
 	if err != nil {
 		fatal(err)
@@ -69,6 +93,9 @@ func main() {
 	alphaList, err := parseFloats(*alphas)
 	if err != nil {
 		fatal(err)
+	}
+	if len(alphaList) == 0 {
+		fatal(fmt.Errorf("-alphas must name at least one value"))
 	}
 
 	run := func(name string) error {
@@ -163,6 +190,21 @@ func main() {
 				return err
 			}
 			return res.Render(os.Stdout)
+		case "comm":
+			opts := experiments.DefaultCommCurveOptions()
+			opts.Profile = prof
+			opts.Model = modelList[0]
+			if len(splitList(*codecs)) == 0 {
+				return fmt.Errorf("-codecs must name at least one codec")
+			}
+			opts.Codecs = splitList(*codecs)
+			opts.Network = *network
+			opts.DeadlineSec = *deadline
+			res, err := experiments.RunCommCurve(opts)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
 		case "ablations":
 			aopts := experiments.DefaultAblationOptions()
 			aopts.Profile = prof
@@ -193,7 +235,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations"}
+		names = []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "comm", "ablations"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {
@@ -216,6 +258,8 @@ func profileByName(name string) (experiments.Profile, error) {
 	}
 }
 
+// splitList parses a comma-separated flag value; an empty flag yields an
+// empty list, and each caller supplies its own default (or error).
 func splitList(s string) []string {
 	var out []string
 	for _, part := range strings.Split(s, ",") {
@@ -223,10 +267,15 @@ func splitList(s string) []string {
 			out = append(out, p)
 		}
 	}
-	if len(out) == 0 {
-		out = []string{"cnn"}
-	}
 	return out
+}
+
+// listOr returns the parsed list, or the flag's default when it is empty.
+func listOr(vals []string, def string) []string {
+	if len(vals) == 0 {
+		return []string{def}
+	}
+	return vals
 }
 
 func parseFloats(s string) ([]float64, error) {
@@ -252,6 +301,9 @@ func parseHets(betas string, iid bool) ([]data.Heterogeneity, error) {
 	}
 	if iid {
 		hets = append(hets, data.Heterogeneity{IID: true})
+	}
+	if len(hets) == 0 {
+		return nil, fmt.Errorf("-betas is empty and -iid=false: no heterogeneity setting left to run")
 	}
 	return hets, nil
 }

@@ -40,7 +40,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := fedcross.EvaluatePerClient(env, algo.Global(), 32)
+		rep, err := fedcross.EvaluatePerClient(env, algo.Global(), 32, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

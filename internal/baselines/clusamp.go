@@ -19,10 +19,12 @@ import (
 // sample-weighted FedAvg, and communication matches FedAvg (Table I:
 // Low).
 type CluSamp struct {
-	env    *fl.Env
-	cfg    fl.Config
-	rng    *tensor.RNG
-	global nn.ParamVector
+	fl.Wire
+	env     *fl.Env
+	cfg     fl.Config
+	rng     *tensor.RNG
+	global  nn.ParamVector
+	recvBuf nn.ParamVector // recycled broadcast-decode destination
 
 	// updates[i] is client i's last update direction (yᵢ − x), nil until
 	// first participation.
@@ -154,16 +156,17 @@ func cosine(x, y nn.ParamVector) float64 {
 // Round trains the selected clients FedAvg-style on the worker pool and
 // remembers each client's update direction for future clustering (the
 // gradient memory is refreshed in selection order during the reduce).
+// Both the memory and the aggregation see only wire-visible vectors: a
+// straggler contributes to neither, exactly as a server that never
+// received the upload.
 func (a *CluSamp) Round(r int, selected []int) error {
-	jobs := selectedJobs(a.cfg, a.rng, a.global, selected, fl.LocalSpec{})
-	results, err := fl.TrainAll(a.env, jobs, a.cfg.Workers())
+	uploads, weights, clients, recv, err := trainSelected(a.env, a.cfg, a.rng, a.Transport(), &a.recvBuf, a.global, selected, fl.LocalSpec{})
 	if err != nil {
 		return fmt.Errorf("baselines: clusamp round %d: %w", r, err)
 	}
-	for j, res := range results {
-		a.updates[jobs[j].Client] = res.Params.Sub(a.global)
+	for j, up := range uploads {
+		a.updates[clients[j]] = up.Sub(recv)
 	}
-	uploads, weights := uploadsAndWeights(results)
 	if len(uploads) == 0 {
 		return nil
 	}

@@ -17,10 +17,12 @@ import (
 // K clients, train locally, and average the uploads weighted by local
 // sample counts (McMahan et al., 2017).
 type FedAvg struct {
-	env    *fl.Env
-	cfg    fl.Config
-	rng    *tensor.RNG
-	global nn.ParamVector
+	fl.Wire
+	env     *fl.Env
+	cfg     fl.Config
+	rng     *tensor.RNG
+	global  nn.ParamVector
+	recvBuf nn.ParamVector // recycled broadcast-decode destination
 }
 
 // NewFedAvg returns a FedAvg instance.
@@ -41,7 +43,7 @@ func (a *FedAvg) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
 
 // Round trains the selected clients from the global model and averages.
 func (a *FedAvg) Round(r int, selected []int) error {
-	uploads, weights, err := trainSelected(a.env, a.cfg, a.rng, a.global, selected, fl.LocalSpec{})
+	uploads, weights, _, _, err := trainSelected(a.env, a.cfg, a.rng, a.Transport(), &a.recvBuf, a.global, selected, fl.LocalSpec{})
 	if err != nil {
 		return fmt.Errorf("baselines: fedavg round %d: %w", r, err)
 	}
@@ -61,43 +63,75 @@ func (a *FedAvg) RoundComm(k int) fl.CommProfile {
 }
 
 // trainSelected runs local training from init on every surviving selected
-// client, applying the extra LocalSpec hooks (Prox/ProxRef/GradCorrection
-// are taken from hooks; the loop fills in the shared fields). Training
-// fans out over the worker pool; RNG splits happen serially in selection
-// order beforehand, so results do not depend on the worker count. It
-// returns the uploaded vectors and their sample-count weights.
-func trainSelected(env *fl.Env, cfg fl.Config, rng *tensor.RNG, init nn.ParamVector, selected []int, hooks fl.LocalSpec) ([]nn.ParamVector, []float64, error) {
-	jobs := selectedJobs(cfg, rng, init, selected, hooks)
+// client, routed through the simulated transport: the dispatched model is
+// broadcast through the codec (clients train on the wire-visible decoded
+// vector), and each upload travels back delta-encoded against that
+// broadcast — a straggler whose upload misses the round deadline is
+// excluded like a dropout. The extra LocalSpec hooks come from hooks
+// (a FedProx hook with Prox > 0 gets the received broadcast as its
+// proximal anchor); the loop fills in the shared fields. Training fans
+// out over the worker pool; RNG splits and all transport calls happen
+// serially in selection order, so results do not depend on the worker
+// count.
+//
+// It returns the server-visible uploads, their sample-count weights, the
+// uploading clients (aligned with uploads), and the client-visible
+// broadcast vector.
+func trainSelected(env *fl.Env, cfg fl.Config, rng *tensor.RNG, tr *fl.Transport, recvBuf *nn.ParamVector, init nn.ParamVector, selected []int, hooks fl.LocalSpec) (uploads []nn.ParamVector, weights []float64, clients []int, recv nn.ParamVector, err error) {
+	survivors := surviving(selected)
+	recv = tr.Broadcast(wireDst(tr, recvBuf, len(init)), survivors, init)
+	if hooks.Prox > 0 {
+		hooks.ProxRef = recv // clients anchor on what they received
+	}
+	jobs := selectedJobs(cfg, rng, recv, survivors, hooks)
 	results, err := fl.TrainAll(env, jobs, cfg.Workers())
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	uploads, weights := uploadsAndWeights(results)
-	return uploads, weights, nil
+	uploads = make([]nn.ParamVector, 0, len(results))
+	weights = make([]float64, 0, len(results))
+	clients = make([]int, 0, len(results))
+	for j, res := range results {
+		dec, ok := tr.Up(res.Params, jobs[j].Client, res.Params, recv)
+		if !ok {
+			continue // straggler: the server never saw this upload
+		}
+		uploads = append(uploads, dec)
+		weights = append(weights, float64(res.Samples))
+		clients = append(clients, jobs[j].Client)
+	}
+	return uploads, weights, clients, recv, nil
 }
 
-// uploadsAndWeights unpacks training results into the parameter vectors
-// and sample-count weights that FedAvg-style aggregation consumes.
-func uploadsAndWeights(results []fl.LocalResult) ([]nn.ParamVector, []float64) {
-	uploads := make([]nn.ParamVector, 0, len(results))
-	weights := make([]float64, 0, len(results))
-	for _, res := range results {
-		uploads = append(uploads, res.Params)
-		weights = append(weights, float64(res.Samples))
+// surviving filters the dropped (-1) slots out of a selection.
+func surviving(selected []int) []int {
+	out := make([]int, 0, len(selected))
+	for _, ci := range selected {
+		if ci >= 0 {
+			out = append(out, ci)
+		}
 	}
-	return uploads, weights
+	return out
+}
+
+// wireDst returns an algorithm-owned decode destination of length n for
+// a lossy transport, recycling (and resizing) *buf across rounds — or
+// nil on the pass-through wire, which never touches destinations.
+func wireDst(tr *fl.Transport, buf *nn.ParamVector, n int) nn.ParamVector {
+	if tr.PassThrough() {
+		return nil
+	}
+	if len(*buf) != n {
+		*buf = make(nn.ParamVector, n)
+	}
+	return *buf
 }
 
 // selectedJobs builds the per-client job list for the surviving selected
 // clients: shared hyper-parameters from cfg, algorithm hooks from hooks,
 // and one RNG split per job drawn in selection order.
 func selectedJobs(cfg fl.Config, rng *tensor.RNG, init nn.ParamVector, selected []int, hooks fl.LocalSpec) []fl.LocalJob {
-	survivors := make([]int, 0, len(selected))
-	for _, ci := range selected {
-		if ci >= 0 { // skip dropped clients
-			survivors = append(survivors, ci)
-		}
-	}
+	survivors := surviving(selected)
 	rngs := rng.SplitN(len(survivors))
 	jobs := make([]fl.LocalJob, len(survivors))
 	for i, ci := range survivors {

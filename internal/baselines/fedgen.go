@@ -52,15 +52,25 @@ func DefaultFedGenOptions() FedGenOptions {
 type FedGen struct {
 	opts FedGenOptions
 
+	fl.Wire
 	env    *fl.Env
 	cfg    fl.Config
 	rng    *tensor.RNG
 	global nn.ParamVector
 
-	gen     *nn.Sequential
-	genOpt  *nn.SGD
-	classes int
-	feats   int
+	gen    *nn.Sequential
+	genOpt *nn.SGD
+	// clientGen is the client-side view of the generator: each round the
+	// server's generator parameters cross the simulated wire and load into
+	// this twin, and augmentation samples from it — so a lossy codec
+	// degrades exactly what a real client would see. Its construction uses
+	// a throwaway RNG (weights are overwritten every round), leaving the
+	// algorithm's RNG streams untouched.
+	clientGen *nn.Sequential
+	genVec    nn.ParamVector // recycled flatten/decode buffer for the download
+	recvBuf   nn.ParamVector // recycled model-broadcast decode destination
+	classes   int
+	feats     int
 	// vocab is the token-id space of the federation's datasets (0 for
 	// continuous features); generated samples must be discretised into it
 	// before touching any Embedding layer.
@@ -98,6 +108,12 @@ func (a *FedGen) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
 		nn.NewReLU(),
 		nn.NewLinear(a.opts.Hidden, a.feats, rng.Split()),
 	)
+	a.clientGen = nn.NewSequential(
+		nn.NewLinear(a.classes+a.opts.NoiseDim, a.opts.Hidden, tensor.NewRNG(0)),
+		nn.NewReLU(),
+		nn.NewLinear(a.opts.Hidden, a.feats, tensor.NewRNG(0)),
+	)
+	a.genVec = nn.FlattenParams(a.gen.Params())
 	a.genOpt = nn.NewSGD(a.opts.GenLR, 0.5)
 	return nil
 }
@@ -108,17 +124,28 @@ func (a *FedGen) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
 // job-preparation loop (in selection order, interleaved with the RNG
 // splits exactly as the serial engine drew them); only the training
 // itself fans out over the worker pool.
+//
+// Both payloads cross the simulated wire: the global model and the
+// generator are broadcast through the codec (augmentation samples from
+// the decoded generator twin), and each upload returns delta-encoded
+// against the model broadcast. Stragglers are excluded from aggregation
+// and distillation alike.
 func (a *FedGen) Round(r int, selected []int) error {
-	jobs := make([]fl.LocalJob, 0, len(selected))
-	for _, ci := range selected {
-		if ci < 0 {
-			continue
-		}
+	tr := a.Transport()
+	survivors := surviving(selected)
+	recvGlobal := tr.Broadcast(wireDst(tr, &a.recvBuf, len(a.global)), survivors, a.global)
+	nn.FlattenParamsInto(a.genVec, a.gen.Params())
+	recvGen := tr.Broadcast(a.genVec, survivors, a.genVec)
+	if err := nn.LoadParams(a.clientGen.Params(), recvGen); err != nil {
+		return fmt.Errorf("baselines: fedgen round %d: generator download: %w", r, err)
+	}
+	jobs := make([]fl.LocalJob, 0, len(survivors))
+	for _, ci := range survivors {
 		jobs = append(jobs, fl.LocalJob{
 			Client: ci,
 			Shard:  a.augmented(a.env.Fed.Clients[ci]),
 			Spec: fl.LocalSpec{
-				Init: a.global, Epochs: a.cfg.LocalEpochs, BatchSize: a.cfg.BatchSize,
+				Init: recvGlobal, Epochs: a.cfg.LocalEpochs, BatchSize: a.cfg.BatchSize,
 				LR: a.cfg.LR, Momentum: a.cfg.Momentum,
 			},
 			RNG: a.rng.Split(),
@@ -128,7 +155,16 @@ func (a *FedGen) Round(r int, selected []int) error {
 	if err != nil {
 		return fmt.Errorf("baselines: fedgen round %d: %w", r, err)
 	}
-	uploads, weights := uploadsAndWeights(results)
+	uploads := make([]nn.ParamVector, 0, len(results))
+	weights := make([]float64, 0, len(results))
+	for j, res := range results {
+		dec, ok := tr.Up(res.Params, jobs[j].Client, res.Params, recvGlobal)
+		if !ok {
+			continue // straggler
+		}
+		uploads = append(uploads, dec)
+		weights = append(weights, float64(res.Samples))
+	}
 	if len(uploads) == 0 {
 		return nil
 	}
@@ -178,7 +214,8 @@ func quantizeTokens(vals []float64, vocab int) {
 	}
 }
 
-// generate draws n conditioned samples from the generator.
+// generate draws n conditioned samples from the client-side generator
+// view (the wire-decoded twin loaded at the top of the round).
 func (a *FedGen) generate(n int) (*tensor.Tensor, []int) {
 	in := tensor.Zeros(n, a.classes+a.opts.NoiseDim)
 	labels := make([]int, n)
@@ -190,7 +227,7 @@ func (a *FedGen) generate(n int) (*tensor.Tensor, []int) {
 			in.Data[i*(a.classes+a.opts.NoiseDim)+a.classes+z] = a.rng.Normal(0, 1)
 		}
 	}
-	return a.gen.Forward(in, false), labels
+	return a.clientGen.Forward(in, false), labels
 }
 
 // trainGenerator performs GenSteps ensemble-distillation updates: the

@@ -16,10 +16,12 @@ type FedProx struct {
 	// Mu is the proximal coefficient.
 	Mu float64
 
-	env    *fl.Env
-	cfg    fl.Config
-	rng    *tensor.RNG
-	global nn.ParamVector
+	fl.Wire
+	env     *fl.Env
+	cfg     fl.Config
+	rng     *tensor.RNG
+	global  nn.ParamVector
+	recvBuf nn.ParamVector // recycled broadcast-decode destination
 }
 
 // NewFedProx returns a FedProx instance with proximal coefficient mu.
@@ -43,10 +45,12 @@ func (a *FedProx) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
 	return nil
 }
 
-// Round trains with the proximal pull toward the dispatched global model.
+// Round trains with the proximal pull toward the dispatched global model
+// (the wire-visible broadcast: trainSelected anchors the proximal term on
+// what the clients actually received).
 func (a *FedProx) Round(r int, selected []int) error {
-	hooks := fl.LocalSpec{Prox: a.Mu, ProxRef: a.global}
-	uploads, weights, err := trainSelected(a.env, a.cfg, a.rng, a.global, selected, hooks)
+	hooks := fl.LocalSpec{Prox: a.Mu}
+	uploads, weights, _, _, err := trainSelected(a.env, a.cfg, a.rng, a.Transport(), &a.recvBuf, a.global, selected, hooks)
 	if err != nil {
 		return fmt.Errorf("baselines: fedprox round %d: %w", r, err)
 	}

@@ -16,12 +16,16 @@ import (
 // and c. Both the model and the variate travel each way, which is why
 // Table I classes its communication overhead as High.
 type SCAFFOLD struct {
+	fl.Wire
 	env    *fl.Env
 	cfg    fl.Config
 	rng    *tensor.RNG
 	global nn.ParamVector
 	c      nn.ParamVector   // server control variate
 	ci     []nn.ParamVector // per-client control variates, lazily zero
+	// recvGlobalBuf / recvCBuf are the recycled broadcast-decode
+	// destinations for the two downlink payloads.
+	recvGlobalBuf, recvCBuf nn.ParamVector
 }
 
 // NewSCAFFOLD returns a SCAFFOLD instance.
@@ -47,21 +51,31 @@ func (a *SCAFFOLD) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
 // RNG splits are prepared serially from the pre-round state (c and the cᵢ
 // only change in the reduce below), then the variate refreshes fold back
 // in selection order.
+//
+// Both the model and the variate cross the simulated wire in each
+// direction: clients train from (and drift-correct against) the decoded
+// broadcasts, and each upload travels delta-encoded against the state the
+// server already holds — the round's model broadcast for yᵢ, the stored
+// cᵢ for the variate, which both endpoints keep wire-visible so delta
+// references never diverge. A straggler loses its whole contribution
+// (neither fold nor cᵢ refresh), exactly as a server that stopped
+// waiting.
 func (a *SCAFFOLD) Round(r int, selected []int) error {
 	n := len(a.global)
-	jobs := make([]fl.LocalJob, 0, len(selected))
-	for _, ci := range selected {
-		if ci < 0 {
-			continue
-		}
+	tr := a.Transport()
+	survivors := surviving(selected)
+	recvGlobal := tr.Broadcast(wireDst(tr, &a.recvGlobalBuf, n), survivors, a.global)
+	recvC := tr.Broadcast(wireDst(tr, &a.recvCBuf, n), survivors, a.c)
+	jobs := make([]fl.LocalJob, 0, len(survivors))
+	for _, ci := range survivors {
 		if a.ci[ci] == nil {
 			a.ci[ci] = make(nn.ParamVector, n)
 		}
-		corr := a.c.Sub(a.ci[ci])
+		corr := recvC.Sub(a.ci[ci])
 		jobs = append(jobs, fl.LocalJob{
 			Client: ci,
 			Spec: fl.LocalSpec{
-				Init: a.global, Epochs: a.cfg.LocalEpochs, BatchSize: a.cfg.BatchSize,
+				Init: recvGlobal, Epochs: a.cfg.LocalEpochs, BatchSize: a.cfg.BatchSize,
 				LR: a.cfg.LR, Momentum: a.cfg.Momentum, GradCorrection: corr,
 			},
 			RNG: a.rng.Split(),
@@ -79,19 +93,29 @@ func (a *SCAFFOLD) Round(r int, selected []int) error {
 		if res.Steps == 0 {
 			continue
 		}
-		// Option II variate refresh: cᵢ⁺ = cᵢ − c + (x − yᵢ)/(steps·η).
+		// Option II variate refresh, computed client-side from the
+		// wire-visible broadcasts: cᵢ⁺ = cᵢ − c + (x − yᵢ)/(steps·η).
 		inv := 1.0 / (float64(res.Steps) * a.cfg.LR)
-		ciNew := a.ci[ci].Sub(a.c)
-		drift := a.global.Sub(res.Params)
+		ciNew := a.ci[ci].Sub(recvC)
+		drift := recvGlobal.Sub(res.Params)
 		ciNew.AXPY(inv, drift)
+
+		model, ok := tr.Up(res.Params, ci, res.Params, recvGlobal)
+		if !ok {
+			continue // straggler: model upload missed the deadline
+		}
+		variate, ok := tr.Up(ciNew, ci, ciNew, a.ci[ci])
+		if !ok {
+			continue // straggler: variate upload missed the deadline
+		}
 
 		if modelDeltaSum == nil {
 			modelDeltaSum = make(nn.ParamVector, n)
 			variateDeltaSum = make(nn.ParamVector, n)
 		}
-		modelDeltaSum.AXPY(1, res.Params.Sub(a.global))
-		variateDeltaSum.AXPY(1, ciNew.Sub(a.ci[ci]))
-		a.ci[ci] = ciNew
+		modelDeltaSum.AXPY(1, model.Sub(a.global))
+		variateDeltaSum.AXPY(1, variate.Sub(a.ci[ci]))
+		a.ci[ci] = variate
 		participants++
 	}
 	if participants == 0 {

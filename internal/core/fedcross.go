@@ -109,10 +109,12 @@ func (o Options) Validate() error {
 }
 
 // FedCross is the multi-model cross-aggregation algorithm. It satisfies
-// fl.Algorithm.
+// fl.Algorithm (and fl.TransportUser: middleware dispatches and uploads
+// cross the simulated wire).
 type FedCross struct {
 	opts Options
 
+	fl.Wire
 	env *fl.Env
 	cfg fl.Config
 	rng *tensor.RNG
@@ -128,6 +130,16 @@ type FedCross struct {
 	// per-job result allocation. The buffers are only read during the
 	// same round's aggregation, so reusing them every round is safe.
 	uploadBuf []nn.ParamVector
+	// recvBuf holds K recycled destinations for the wire-decoded
+	// middleware dispatches when the codec is lossy (the pass-through
+	// wire never touches them). recvBuf[i] is valid for one round: it is
+	// the slot's training init and the delta reference its upload is
+	// encoded against, and the next round's dispatch overwrites it.
+	recvBuf []nn.ParamVector
+	// recvView[i] is what slot i's client received this round —
+	// recvBuf[i] under a lossy codec, the middleware vector itself on the
+	// pass-through wire.
+	recvView []nn.ParamVector
 	// props is the reusable propeller-model scratch list.
 	props []nn.ParamVector
 }
@@ -212,22 +224,41 @@ func (f *FedCross) Round(r int, selected []int) error {
 	}
 
 	// Local training, fanned out over the worker pool. Jobs are prepared
-	// serially — the per-client RNG splits happen here, in slot order, so
-	// the streams are identical at every parallelism level. A dropped
-	// client (-1) leaves its middleware model untrained this round
-	// (v_i = w_i), the natural fault-tolerant reading of Algorithm 1.
-	f.ensureUploadBuf(k, len(f.middleware[0]))
+	// serially — the per-client RNG splits and the transport dispatches
+	// happen here, in slot order, so the streams (and the wire's byte and
+	// clock accounting) are identical at every parallelism level. A
+	// dropped client (-1) leaves its middleware model untrained this
+	// round (v_i = w_i), the natural fault-tolerant reading of
+	// Algorithm 1; a straggler whose upload misses the round deadline
+	// degrades the same way.
+	tr := f.Transport()
+	n := len(f.middleware[0])
+	f.ensureUploadBuf(k, n)
+	passThrough := tr.PassThrough()
+	if !passThrough {
+		f.recvBuf = ensureVecs(f.recvBuf, k, n)
+	}
+	if len(f.recvView) != k {
+		f.recvView = make([]nn.ParamVector, k)
+	}
 	jobs := make([]fl.LocalJob, 0, k)
 	slots := make([]int, 0, k)
+	clients := make([]int, 0, k)
 	for i := 0; i < k; i++ {
 		ci := selected[assign[i]]
 		if ci < 0 {
 			continue
 		}
+		var dst nn.ParamVector
+		if !passThrough {
+			dst = f.recvBuf[i]
+		}
+		recv := tr.Down(dst, ci, f.middleware[i])
+		f.recvView[i] = recv
 		jobs = append(jobs, fl.LocalJob{
 			Client: ci,
 			Spec: fl.LocalSpec{
-				Init:      f.middleware[i],
+				Init:      recv,
 				Epochs:    f.cfg.LocalEpochs,
 				BatchSize: f.cfg.BatchSize,
 				LR:        f.cfg.LR,
@@ -237,6 +268,7 @@ func (f *FedCross) Round(r int, selected []int) error {
 			RNG: f.rng.Split(),
 		})
 		slots = append(slots, i)
+		clients = append(clients, ci)
 	}
 	results, err := fl.TrainAll(f.env, jobs, f.cfg.Workers())
 	if err != nil {
@@ -245,7 +277,13 @@ func (f *FedCross) Round(r int, selected []int) error {
 	uploads := make([]nn.ParamVector, k)
 	copy(uploads, f.middleware) // untrained slots upload their model as-is
 	for j, res := range results {
-		uploads[slots[j]] = res.Params
+		// The upload returns delta-encoded against this round's dispatch
+		// (the one vector both endpoints hold bit-identically), decoded in
+		// place into the slot's recycled upload buffer.
+		dec, ok := tr.Up(res.Params, clients[j], res.Params, f.recvView[slots[j]])
+		if ok {
+			uploads[slots[j]] = dec
+		}
 	}
 
 	f.middleware = f.aggregate(r, uploads)
@@ -255,14 +293,21 @@ func (f *FedCross) Round(r int, selected []int) error {
 // ensureUploadBuf sizes the recycled upload destinations for K models of
 // n parameters (a no-op at steady state).
 func (f *FedCross) ensureUploadBuf(k, n int) {
-	if len(f.uploadBuf) != k {
-		f.uploadBuf = make([]nn.ParamVector, k)
+	f.uploadBuf = ensureVecs(f.uploadBuf, k, n)
+}
+
+// ensureVecs sizes a recycled list of K n-length vectors (a no-op at
+// steady state).
+func ensureVecs(vs []nn.ParamVector, k, n int) []nn.ParamVector {
+	if len(vs) != k {
+		vs = make([]nn.ParamVector, k)
 	}
-	for i := range f.uploadBuf {
-		if len(f.uploadBuf[i]) != n {
-			f.uploadBuf[i] = make(nn.ParamVector, n)
+	for i := range vs {
+		if len(vs[i]) != n {
+			vs[i] = make(nn.ParamVector, n)
 		}
 	}
+	return vs
 }
 
 // aggregate applies cross-aggregation (with any active acceleration) to

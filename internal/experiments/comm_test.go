@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// commProfile sizes the sweep for a fast test: a few rounds of the tiny
+// environment per codec.
+func commProfile() Profile {
+	p := TinyProfile()
+	p.Rounds = 2
+	p.EvalEvery = 1
+	p.NumClients = 6
+	p.ClientsPerRound = 3
+	p.VisionTrainPerClass = 10
+	p.VisionTestPerClass = 4
+	return p
+}
+
+// TestCommCurve pins the sweep's structure: one curve per codec, strictly
+// increasing cumulative traffic, identity moving the most bytes and every
+// lossy codec strictly fewer — the whole point of the wire.
+func TestCommCurve(t *testing.T) {
+	opts := DefaultCommCurveOptions()
+	opts.Profile = commProfile()
+	opts.Model = "mlp"
+	res, err := RunCommCurve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != len(opts.Codecs) {
+		t.Fatalf("%d curves for %d codecs", len(res.Curves), len(opts.Codecs))
+	}
+	var identityMB float64
+	for _, c := range res.Curves {
+		if len(c.Points) == 0 {
+			t.Fatalf("codec %s: no evaluated points", c.Codec)
+		}
+		prev := 0.0
+		for _, p := range c.Points {
+			if p.CumMB <= prev {
+				t.Fatalf("codec %s: cumulative MB not increasing: %v", c.Codec, c.Points)
+			}
+			prev = p.CumMB
+		}
+		if c.Codec == "identity" {
+			identityMB = c.TotalMB
+		}
+	}
+	if identityMB == 0 {
+		t.Fatal("identity curve missing or moved zero bytes")
+	}
+	for _, c := range res.Curves {
+		if c.Codec != "identity" && c.TotalMB >= identityMB {
+			t.Fatalf("lossy codec %s moved %v MB, identity %v — compression had no effect", c.Codec, c.TotalMB, identityMB)
+		}
+	}
+	if err := res.Render(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommCurveDeadline pins straggler surfacing through the harness: an
+// edge network with a tight deadline must report stragglers in at least
+// one curve, and the runs must stay deterministic.
+func TestCommCurveDeadline(t *testing.T) {
+	opts := DefaultCommCurveOptions()
+	opts.Profile = commProfile()
+	opts.Model = "mlp"
+	opts.Codecs = []string{"identity"}
+	opts.Network = "edge"
+	opts.DeadlineSec = 0.5
+	a, err := RunCommCurve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCommCurve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Curves[0].Stragglers != b.Curves[0].Stragglers {
+		t.Fatalf("straggler count not deterministic: %d vs %d", a.Curves[0].Stragglers, b.Curves[0].Stragglers)
+	}
+	if a.Curves[0].Stragglers == 0 {
+		t.Fatal("edge network with 0.5 s deadline produced no stragglers")
+	}
+}

@@ -41,6 +41,11 @@ type Profile struct {
 	// (fl.Config.Parallelism): 0 uses every core, 1 forces serial
 	// execution. Results are identical either way.
 	Parallelism int
+	// Codec, Network and DeadlineSec configure the simulated wire every
+	// run's payloads travel over (fl.Config.Transport). Zero values mean
+	// the pass-through reference wire.
+	Codec, Network string
+	DeadlineSec    float64
 }
 
 // TinyProfile sizes experiments for unit tests and testing.B benches:
@@ -102,6 +107,11 @@ func (p Profile) Config(seed int64) fl.Config {
 		EvalEvery:       p.EvalEvery,
 		Seed:            seed,
 		Parallelism:     p.Parallelism,
+		Transport: fl.TransportOptions{
+			Codec:       p.Codec,
+			Network:     p.Network,
+			DeadlineSec: p.DeadlineSec,
+		},
 	}
 }
 

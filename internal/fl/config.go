@@ -42,9 +42,15 @@ type Config struct {
 	// uses runtime.NumCPU(); 1 reproduces strictly serial execution.
 	// Results are bit-identical at every setting: per-client RNG streams
 	// are pre-split before dispatch, so scheduling never influences
-	// randomness. (The standalone Evaluate/EvaluatePerClient helpers
-	// take no Config and always use every core.)
+	// randomness. (The standalone Evaluate/EvaluatePerClient helpers take
+	// no Config; they accept the same worker budget as an explicit
+	// argument.)
 	Parallelism int
+	// Transport selects the simulated wire (codec, link model, round
+	// deadline). The zero value is the pass-through reference wire:
+	// identity codec, ideal network, no deadline — bit-identical histories
+	// to the accounting-only engine.
+	Transport TransportOptions
 }
 
 // DefaultConfig returns the paper-mirroring configuration at test scale.
@@ -81,7 +87,7 @@ func (c Config) Validate() error {
 	case c.Parallelism < 0:
 		return fmt.Errorf("fl: Parallelism = %d, must be non-negative", c.Parallelism)
 	}
-	return nil
+	return c.Transport.Validate()
 }
 
 // Workers resolves Parallelism to an effective worker count: the

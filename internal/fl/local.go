@@ -149,11 +149,12 @@ func applyHooks(params, grads []*tensor.Tensor, spec LocalSpec) {
 }
 
 // Evaluate computes test accuracy and mean loss of the parameter vector on
-// ds, batching for memory locality. Batches are evaluated across all CPU
-// cores; the per-batch partial sums are reduced in batch order, so the
-// result is bit-identical to a serial pass.
-func Evaluate(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, batchSize int) (acc, loss float64, err error) {
-	return evaluate(factory, vec, ds, batchSize, 0)
+// ds, batching for memory locality. Batches are evaluated across at most
+// workers goroutines (0 means every core, matching Config.Parallelism's
+// convention); the per-batch partial sums are reduced in batch order, so
+// the result is bit-identical at every worker count.
+func Evaluate(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, batchSize, workers int) (acc, loss float64, err error) {
+	return evaluate(factory, vec, ds, batchSize, workers)
 }
 
 // evaluate is Evaluate with an explicit worker budget (0 means all cores,

@@ -31,16 +31,17 @@ type PerClientReport struct {
 }
 
 // EvaluatePerClient measures the model on every client's local data.
-// Clients are evaluated in parallel across all CPU cores (each worker
-// runs a serial per-client pass); the report is reduced in client order,
-// so the result is identical to a serial sweep.
-func EvaluatePerClient(env *Env, vec nn.ParamVector, batchSize int) (*PerClientReport, error) {
+// Clients are evaluated in parallel across at most workers goroutines
+// (0 means every core, matching Config.Parallelism's convention; each
+// worker runs a serial per-client pass); the report is reduced in client
+// order, so the result is identical at every worker count.
+func EvaluatePerClient(env *Env, vec nn.ParamVector, batchSize, workers int) (*PerClientReport, error) {
 	n := env.NumClients()
 	if n == 0 {
 		return nil, fmt.Errorf("fl: EvaluatePerClient: no clients")
 	}
 	clientAccs := make([]float64, n)
-	err := parallelForErr(n, 0, func(ci int) error {
+	err := parallelForErr(n, workers, func(ci int) error {
 		shard := env.Fed.Clients[ci]
 		if shard.Len() == 0 {
 			return nil

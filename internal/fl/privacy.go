@@ -71,6 +71,15 @@ func WithPrivacy(algo Algorithm, opts PrivacyOptions) (Algorithm, error) {
 // Name implements Algorithm.
 func (p *privacyWrapper) Name() string { return p.Algorithm.Name() + "+dp" }
 
+// SetTransport implements TransportUser by forwarding the runner's wire
+// to the wrapped algorithm (interface embedding would otherwise hide the
+// inner method from the runner's type assertion).
+func (p *privacyWrapper) SetTransport(t *Transport) {
+	if tu, ok := p.Algorithm.(TransportUser); ok {
+		tu.SetTransport(t)
+	}
+}
+
 // Init implements Algorithm: besides initialising the wrapped method, it
 // discards the previous run's memoized release and clipping anchor —
 // stale state from an earlier experiment must not leak into (or clip) the

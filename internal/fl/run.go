@@ -9,7 +9,9 @@ import (
 
 // Algorithm is the plug-in point for FL methods. The Runner owns client
 // selection and evaluation; the algorithm owns what happens inside a
-// round.
+// round. Algorithms that additionally implement TransportUser receive the
+// runner's simulated wire before Init and must route every model-sized
+// exchange through it; the six built-in methods all do.
 type Algorithm interface {
 	// Name identifies the method in reports ("fedavg", "fedcross", ...).
 	Name() string
@@ -45,8 +47,15 @@ type RoundMetric struct {
 	// TestAcc and TestLoss are the global model's held-out metrics.
 	TestAcc, TestLoss float64
 	// CumModelEquivalents is cumulative communication in model-sized
-	// units up to and including this round.
+	// units up to and including this round (the analytic Table-I view).
 	CumModelEquivalents float64
+	// CumBytesDown / CumBytesUp are the cumulative wire traffic measured
+	// by the transport — byte-accurate encoded payload sizes, not
+	// model-equivalents — up to and including this round.
+	CumBytesDown, CumBytesUp int64
+	// CumStragglers counts clients whose upload missed the round deadline
+	// so far (0 unless Config.Transport sets a deadline).
+	CumStragglers int
 }
 
 // History is a full run record.
@@ -55,9 +64,17 @@ type History struct {
 	Algorithm string
 	// Metrics holds one entry per evaluated round.
 	Metrics []RoundMetric
-	// Comm is the whole-run communication total.
+	// Comm is the whole-run communication total in analytic units.
 	Comm CommProfile
+	// BytesDown / BytesUp are the whole-run wire traffic measured by the
+	// transport (encoded payload bytes).
+	BytesDown, BytesUp int64
+	// Stragglers is the whole-run count of deadline-missed uploads.
+	Stragglers int
 }
+
+// TotalBytes returns the run's whole wire traffic in both directions.
+func (h *History) TotalBytes() int64 { return h.BytesDown + h.BytesUp }
 
 // Final returns the last evaluated metric.
 func (h *History) Final() RoundMetric {
@@ -109,6 +126,18 @@ func Run(algo Algorithm, env *Env, cfg Config) (*History, error) {
 
 	selRNG := rng.Split()
 	dropRNG := rng.Split()
+	// The transport's stream is split after the pre-existing ones, so
+	// selection, dropout and algorithm randomness are untouched by its
+	// introduction — histories with the reference wire stay bit-identical
+	// to the accounting-only engine.
+	netRNG := rng.Split()
+	tr, err := NewTransport(cfg.Transport)
+	if err != nil {
+		return nil, fmt.Errorf("fl: Run: %w", err)
+	}
+	if tu, ok := algo.(TransportUser); ok {
+		tu.SetTransport(tr)
+	}
 	hist := &History{Algorithm: algo.Name()}
 	var acct Accountant
 	genFrac := 0.25 // generators are a quarter model, cf. comm.go
@@ -122,9 +151,11 @@ func Run(algo Algorithm, env *Env, cfg Config) (*History, error) {
 				}
 			}
 		}
+		tr.BeginRound(selected, netRNG.Split())
 		if err := algo.Round(r, selected); err != nil {
 			return nil, fmt.Errorf("fl: Run: %s round %d: %w", algo.Name(), r, err)
 		}
+		tr.EndRound()
 		acct.Record(algo.RoundComm(k))
 
 		last := r == cfg.Rounds-1
@@ -133,15 +164,20 @@ func Run(algo Algorithm, env *Env, cfg Config) (*History, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fl: Run: eval round %d: %w", r, err)
 			}
+			down, up, stragglers := tr.Totals()
 			hist.Metrics = append(hist.Metrics, RoundMetric{
 				Round:               r + 1,
 				TestAcc:             acc,
 				TestLoss:            loss,
 				CumModelEquivalents: acct.Total().TotalModelEquivalents(genFrac),
+				CumBytesDown:        down,
+				CumBytesUp:          up,
+				CumStragglers:       stragglers,
 			})
 		}
 	}
 	hist.Comm = acct.Total()
+	hist.BytesDown, hist.BytesUp, hist.Stragglers = tr.Totals()
 	return hist, nil
 }
 

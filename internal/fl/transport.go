@@ -1,0 +1,378 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+// TransportOptions selects the simulated wire a run's payloads travel
+// over. The zero value — identity codec, ideal network, no deadline — is
+// the reference wire: payloads pass through untouched (and uncopied), so
+// histories are bit-identical to the accounting-only engine, with byte
+// counters riding along for free.
+type TransportOptions struct {
+	// Codec names the model codec: "identity" (default), "fp16", "int8",
+	// "topk" or "topk:<frac>". See nn.CodecByName.
+	Codec string
+	// Network names the link model: "none" (default), "fiber", "wifi",
+	// "lte" or "edge". See NetworkByName.
+	Network string
+	// DeadlineSec is the per-round wall-clock budget per client: a client
+	// whose simulated download+upload time exceeds it becomes a straggler
+	// (its uploads never reach the server). 0 disables the deadline.
+	DeadlineSec float64
+}
+
+// Validate reports the first problem with the options.
+func (o TransportOptions) Validate() error {
+	if _, err := nn.CodecByName(o.Codec); err != nil {
+		return err
+	}
+	if _, err := NetworkByName(o.Network); err != nil {
+		return err
+	}
+	if o.DeadlineSec < 0 {
+		return fmt.Errorf("fl: DeadlineSec %v negative", o.DeadlineSec)
+	}
+	return nil
+}
+
+// NetworkModel describes simulated per-client link conditions. Rates and
+// latency are medians; each activated client draws lognormal multipliers
+// exp(Jitter·N(0,1)) per round, so a fleet on the same model still has
+// fast and slow members.
+type NetworkModel struct {
+	// Name labels the model in reports.
+	Name string
+	// DownMbps / UpMbps are median link rates in megabits per second;
+	// 0 means infinite (no transfer time).
+	DownMbps, UpMbps float64
+	// LatencySec is the median one-way message latency.
+	LatencySec float64
+	// Jitter is the σ of the lognormal multiplier; 0 makes every client
+	// identical.
+	Jitter float64
+}
+
+// Ideal reports whether the model charges no time at all.
+func (m NetworkModel) Ideal() bool {
+	return m.DownMbps == 0 && m.UpMbps == 0 && m.LatencySec == 0
+}
+
+// NetworkByName resolves a link model from its flag spelling.
+func NetworkByName(name string) (NetworkModel, error) {
+	switch name {
+	case "", "none":
+		return NetworkModel{Name: "none"}, nil
+	case "fiber":
+		return NetworkModel{Name: "fiber", DownMbps: 300, UpMbps: 100, LatencySec: 0.005, Jitter: 0.1}, nil
+	case "wifi":
+		return NetworkModel{Name: "wifi", DownMbps: 80, UpMbps: 30, LatencySec: 0.010, Jitter: 0.3}, nil
+	case "lte":
+		return NetworkModel{Name: "lte", DownMbps: 30, UpMbps: 10, LatencySec: 0.050, Jitter: 0.5}, nil
+	case "edge":
+		return NetworkModel{Name: "edge", DownMbps: 2, UpMbps: 0.5, LatencySec: 0.200, Jitter: 0.8}, nil
+	}
+	return NetworkModel{}, fmt.Errorf("fl: unknown network %q (want none, fiber, wifi, lte or edge)", name)
+}
+
+// link is one activated client's drawn conditions and round clock.
+type link struct {
+	downRate, upRate float64 // bytes per second; 0 = infinite
+	latency          float64 // seconds per message
+	elapsed          float64 // simulated wire time consumed this round
+	straggler        bool
+}
+
+// Transport is the simulated exchange path every algorithm routes its
+// down/up payloads through. It serializes payloads with the configured
+// codec, charges byte-accurate traffic, advances per-client link clocks
+// drawn from the network model, and reports deadline-missed uploads as
+// stragglers.
+//
+// Concurrency contract: all Transport methods must be called from the
+// serial phases of a round (job preparation and reduce) — exactly where
+// algorithms draw their RNG splits today. Link conditions are drawn in
+// slot order from a pre-split per-round stream, so results are
+// bit-identical at every Parallelism setting.
+//
+// A nil *Transport is valid and behaves as a zero-cost pass-through, so
+// algorithms run unchanged outside fl.Run (unit tests driving Init/Round
+// directly).
+type Transport struct {
+	codec    nn.Codec
+	net      NetworkModel
+	deadline float64
+
+	links map[int]*link
+
+	// round counters, folded into the cumulative ones by EndRound.
+	roundDown, roundUp int64
+	roundStragglers    int
+	cumDown, cumUp     int64
+	cumStragglers      int
+
+	// encBuf is the recycled encode scratch; resBuf the recycled delta
+	// residual. Both are safe to reuse per call because transport calls
+	// are serial by contract.
+	encBuf []byte
+	resBuf nn.ParamVector
+}
+
+// NewTransport builds a transport from options. The zero options value
+// yields the pass-through reference wire.
+func NewTransport(opts TransportOptions) (*Transport, error) {
+	codec, err := nn.CodecByName(opts.Codec)
+	if err != nil {
+		return nil, err
+	}
+	net, err := NetworkByName(opts.Network)
+	if err != nil {
+		return nil, err
+	}
+	if opts.DeadlineSec < 0 {
+		return nil, fmt.Errorf("fl: DeadlineSec %v negative", opts.DeadlineSec)
+	}
+	return &Transport{codec: codec, net: net, deadline: opts.DeadlineSec, links: map[int]*link{}}, nil
+}
+
+// Codec returns the configured codec ("identity" for a nil transport).
+func (t *Transport) Codec() nn.Codec {
+	if t == nil {
+		return nn.IdentityCodec{}
+	}
+	return t.codec
+}
+
+// Network returns the configured link model.
+func (t *Transport) Network() NetworkModel {
+	if t == nil {
+		return NetworkModel{Name: "none"}
+	}
+	return t.net
+}
+
+// PassThrough reports whether payloads cross the wire unmodified (the
+// codec is lossless), in which case Down/Up/Broadcast return the input
+// vector itself and never touch a destination buffer.
+func (t *Transport) PassThrough() bool { return t == nil || t.codec.Lossless() }
+
+// BeginRound resets the round counters and draws this round's link
+// conditions for every activated client (dropped slots, marked -1, are
+// skipped) in slot order from rng — which the runner pre-splits serially,
+// keeping the draws independent of scheduling. rng may be nil when the
+// network model is ideal.
+func (t *Transport) BeginRound(selected []int, rng *tensor.RNG) {
+	if t == nil {
+		return
+	}
+	t.roundDown, t.roundUp, t.roundStragglers = 0, 0, 0
+	clear(t.links)
+	for _, ci := range selected {
+		if ci < 0 {
+			continue
+		}
+		l := &link{
+			downRate: mbpsToBytesPerSec(t.net.DownMbps),
+			upRate:   mbpsToBytesPerSec(t.net.UpMbps),
+			latency:  t.net.LatencySec,
+		}
+		if t.net.Jitter > 0 && rng != nil {
+			// One lognormal multiplier per quantity, drawn in a fixed
+			// order; a multiplier slows rates down and stretches latency.
+			l.downRate *= math.Exp(t.net.Jitter * rng.Normal(0, 1))
+			l.upRate *= math.Exp(t.net.Jitter * rng.Normal(0, 1))
+			l.latency *= math.Exp(t.net.Jitter * rng.Normal(0, 1))
+		}
+		t.links[ci] = l
+	}
+}
+
+func mbpsToBytesPerSec(mbps float64) float64 { return mbps * 1e6 / 8 }
+
+// EndRound folds the round counters into the run totals and returns the
+// round's traffic and straggler count.
+func (t *Transport) EndRound() (bytesDown, bytesUp int64, stragglers int) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	t.cumDown += t.roundDown
+	t.cumUp += t.roundUp
+	t.cumStragglers += t.roundStragglers
+	return t.roundDown, t.roundUp, t.roundStragglers
+}
+
+// Totals returns the cumulative run traffic and straggler count.
+func (t *Transport) Totals() (bytesDown, bytesUp int64, stragglers int) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	return t.cumDown, t.cumUp, t.cumStragglers
+}
+
+// Down simulates one server→client dispatch of vec: the payload is
+// encoded, charged to the downlink, and the client-visible (decoded)
+// vector is returned — dst when the codec is lossy (allocated at vec's
+// length when dst is nil), vec itself on the lossless pass-through.
+func (t *Transport) Down(dst nn.ParamVector, client int, vec nn.ParamVector) nn.ParamVector {
+	if t == nil {
+		return vec
+	}
+	size := t.codec.EncodedSize(len(vec))
+	t.roundDown += size
+	t.chargeTime(client, size, true)
+	return t.deliver(dst, vec, nil)
+}
+
+// Broadcast simulates dispatching one payload to every listed client
+// (dropped -1 slots are skipped): bytes and link time are charged per
+// client, but the payload is encoded and decoded once — every client
+// sees the same decoded vector, exactly as a deterministic codec behaves.
+func (t *Transport) Broadcast(dst nn.ParamVector, clients []int, vec nn.ParamVector) nn.ParamVector {
+	if t == nil {
+		return vec
+	}
+	size := t.codec.EncodedSize(len(vec))
+	for _, ci := range clients {
+		if ci < 0 {
+			continue
+		}
+		t.roundDown += size
+		t.chargeTime(ci, size, true)
+	}
+	return t.deliver(dst, vec, nil)
+}
+
+// Up simulates one client→server upload of vec, delta-encoded against
+// ref when ref is non-nil (both endpoints must hold ref bit-identically —
+// see the invalidation rule in docs/ARCHITECTURE.md). It returns the
+// server-visible vector (decoded into dst, or vec itself on the lossless
+// pass-through) and ok=false when the client's round clock has passed the
+// deadline: the upload was transmitted (its bytes are charged) but the
+// server stopped waiting, so the caller must treat the client like a
+// dropout. Subsequent uploads from a straggler are skipped entirely.
+func (t *Transport) Up(dst nn.ParamVector, client int, vec, ref nn.ParamVector) (nn.ParamVector, bool) {
+	if t == nil {
+		return vec, true
+	}
+	if l := t.links[client]; l != nil && l.straggler {
+		return vec, false
+	}
+	size := t.codec.EncodedSize(len(vec))
+	t.roundUp += size
+	ontime := t.chargeTime(client, size, false)
+	if !ontime {
+		t.markStraggler(client)
+		return vec, false
+	}
+	return t.deliver(dst, vec, ref), true
+}
+
+// markStraggler flags the client's link and counts it once.
+func (t *Transport) markStraggler(client int) {
+	l := t.links[client]
+	if l == nil {
+		l = &link{}
+		t.links[client] = l
+	}
+	if !l.straggler {
+		l.straggler = true
+		t.roundStragglers++
+	}
+}
+
+// chargeTime advances the client's round clock by one message (latency
+// plus transfer) and reports whether the clock is still inside the
+// deadline. Unknown clients (algorithms exchanging outside BeginRound)
+// get an un-jittered link on first touch.
+func (t *Transport) chargeTime(client int, size int64, down bool) bool {
+	if t.net.Ideal() && t.deadline == 0 {
+		return true
+	}
+	l := t.links[client]
+	if l == nil {
+		l = &link{
+			downRate: mbpsToBytesPerSec(t.net.DownMbps),
+			upRate:   mbpsToBytesPerSec(t.net.UpMbps),
+			latency:  t.net.LatencySec,
+		}
+		t.links[client] = l
+	}
+	rate := l.upRate
+	if down {
+		rate = l.downRate
+	}
+	l.elapsed += l.latency
+	if rate > 0 {
+		l.elapsed += float64(size) / rate
+	}
+	return t.deadline == 0 || l.elapsed <= t.deadline
+}
+
+// deliver runs vec through the codec into dst, applying the delta
+// transform against ref when set: the residual vec−ref is what crosses
+// the wire, and the receiver adds ref back — so coordinates a lossy codec
+// drops stay at the reference value instead of snapping to zero, and
+// quantization grids span the (much smaller) residual range.
+func (t *Transport) deliver(dst, vec, ref nn.ParamVector) nn.ParamVector {
+	if t.codec.Lossless() {
+		// The identity wire is a zero-copy pass-through: delta would only
+		// add float cancellation error to a codec that is already exact.
+		return vec
+	}
+	payload := vec
+	if ref != nil {
+		if len(ref) != len(vec) {
+			panic(fmt.Sprintf("fl: transport delta ref length %d != payload %d", len(ref), len(vec)))
+		}
+		if cap(t.resBuf) < len(vec) {
+			t.resBuf = make(nn.ParamVector, len(vec))
+		}
+		t.resBuf = t.resBuf[:len(vec)]
+		for i := range vec {
+			t.resBuf[i] = vec[i] - ref[i]
+		}
+		payload = t.resBuf
+	}
+	t.encBuf = t.codec.Encode(t.encBuf[:0], payload)
+	if dst == nil {
+		dst = make(nn.ParamVector, len(vec))
+	}
+	if len(dst) != len(vec) {
+		panic(fmt.Sprintf("fl: transport destination length %d != payload %d", len(dst), len(vec)))
+	}
+	if _, err := t.codec.Decode(dst, t.encBuf); err != nil {
+		// Encode and Decode are the same codec over the same buffer; a
+		// failure here is a codec bug, not an input condition.
+		panic(fmt.Sprintf("fl: transport codec round-trip: %v", err))
+	}
+	if ref != nil {
+		for i := range dst {
+			dst[i] += ref[i]
+		}
+	}
+	return dst
+}
+
+// TransportUser is implemented by algorithms that route their exchanges
+// through the simulated transport. The runner injects its transport
+// before Init; algorithms must tolerate never receiving one (nil
+// transport methods are pass-through no-ops).
+type TransportUser interface {
+	SetTransport(t *Transport)
+}
+
+// Wire is the embeddable TransportUser implementation algorithms use.
+type Wire struct {
+	tr *Transport
+}
+
+// SetTransport implements TransportUser.
+func (w *Wire) SetTransport(t *Transport) { w.tr = t }
+
+// Transport returns the injected transport (nil when running outside
+// fl.Run, which every Transport method tolerates).
+func (w *Wire) Transport() *Transport { return w.tr }

@@ -1,0 +1,234 @@
+package fl
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+func testVec(rng *tensor.RNG, n int) nn.ParamVector {
+	v := make(nn.ParamVector, n)
+	for i := range v {
+		v[i] = rng.Normal(0, 1)
+	}
+	return v
+}
+
+// TestTransportNilPassThrough pins the nil-receiver contract every
+// algorithm relies on when driven outside fl.Run.
+func TestTransportNilPassThrough(t *testing.T) {
+	var tr *Transport
+	vec := nn.ParamVector{1, 2, 3}
+	if got := tr.Down(nil, 0, vec); &got[0] != &vec[0] {
+		t.Fatal("nil transport Down must return the input vector")
+	}
+	if got, ok := tr.Up(nil, 0, vec, nil); !ok || &got[0] != &vec[0] {
+		t.Fatal("nil transport Up must pass through on time")
+	}
+	if got := tr.Broadcast(nil, []int{0, 1}, vec); &got[0] != &vec[0] {
+		t.Fatal("nil transport Broadcast must return the input vector")
+	}
+	tr.BeginRound([]int{0, 1}, nil)
+	if d, u, s := tr.EndRound(); d != 0 || u != 0 || s != 0 {
+		t.Fatalf("nil transport accounted %d/%d/%d", d, u, s)
+	}
+	if !tr.PassThrough() {
+		t.Fatal("nil transport must report PassThrough")
+	}
+}
+
+// TestTransportIdentityZeroCopy pins the reference wire: identity codec
+// returns the input slices untouched (no decode copy) while still
+// charging byte-accurate traffic.
+func TestTransportIdentityZeroCopy(t *testing.T) {
+	tr, err := NewTransport(TransportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(1)
+	vec := testVec(rng, 100)
+	tr.BeginRound([]int{3, 7, -1}, rng.Split())
+
+	if got := tr.Down(nil, 3, vec); &got[0] != &vec[0] {
+		t.Fatal("identity Down must be zero-copy")
+	}
+	if got := tr.Broadcast(nil, []int{3, 7, -1}, vec); &got[0] != &vec[0] {
+		t.Fatal("identity Broadcast must be zero-copy")
+	}
+	if got, ok := tr.Up(nil, 7, vec, vec); !ok || &got[0] != &vec[0] {
+		t.Fatal("identity Up must be zero-copy and on time")
+	}
+
+	perPayload := (nn.IdentityCodec{}).EncodedSize(100)
+	down, up, stragglers := tr.EndRound()
+	if want := 3 * perPayload; down != want { // 1 Down + 2 Broadcast recipients
+		t.Fatalf("down bytes %d, want %d", down, want)
+	}
+	if up != perPayload {
+		t.Fatalf("up bytes %d, want %d", up, perPayload)
+	}
+	if stragglers != 0 {
+		t.Fatalf("stragglers %d, want 0", stragglers)
+	}
+	if d, u, _ := tr.Totals(); d != down || u != up {
+		t.Fatalf("totals %d/%d, want %d/%d", d, u, down, up)
+	}
+}
+
+// TestTransportLossyDelta pins the delta path: an int8 upload encoded
+// against a reference decodes within the quantization bound of the
+// *residual* range — far tighter than quantizing the raw vector — and
+// dropped top-k coordinates stay at the reference instead of zero.
+func TestTransportLossyDelta(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	ref := testVec(rng, 512)
+	vec := ref.Clone()
+	// Perturb a little: the residual range is ~1e-2 while the value range is ~1.
+	resLo, resHi := math.Inf(1), math.Inf(-1)
+	for i := range vec {
+		d := 0.01 * rng.Normal(0, 1)
+		vec[i] += d
+		resLo = math.Min(resLo, d)
+		resHi = math.Max(resHi, d)
+	}
+
+	tr, err := NewTransport(TransportOptions{Codec: "int8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.BeginRound([]int{0}, nil)
+	dst := make(nn.ParamVector, len(vec))
+	got, ok := tr.Up(dst, 0, vec, ref)
+	if !ok {
+		t.Fatal("upload missed a deadline that does not exist")
+	}
+	bound := (resHi - resLo) / 510 * (1 + 1e-9)
+	for i := range vec {
+		if math.Abs(got[i]-vec[i]) > bound {
+			t.Fatalf("delta int8: element %d error %v > residual bound %v", i, math.Abs(got[i]-vec[i]), bound)
+		}
+	}
+
+	// topk delta: unsent coordinates must equal the reference bit-exactly.
+	tr2, err := NewTransport(TransportOptions{Codec: "topk:0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2.BeginRound([]int{0}, nil)
+	got2, _ := tr2.Up(make(nn.ParamVector, len(vec)), 0, vec, ref)
+	unchanged := 0
+	for i := range got2 {
+		if got2[i] == ref[i] {
+			unchanged++
+		}
+	}
+	if want := len(vec) - (nn.TopKCodec{Frac: 0.1}).Keep(len(vec)); unchanged < want {
+		t.Fatalf("topk delta: %d coordinates at the reference, want at least %d", unchanged, want)
+	}
+}
+
+// TestTransportDeadlineStragglers pins straggler semantics: with a slow
+// link and a tight deadline, uploads past the budget report ok=false,
+// each straggler is counted exactly once, later uploads from the same
+// client are skipped, and the selection is a deterministic function of
+// the seed.
+func TestTransportDeadlineStragglers(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	vec := testVec(rng, 25_000) // 200 KB identity payload
+	clients := []int{0, 1, 2, 3, 4, 5, 6, 7}
+
+	run := func(seed int64) (missed []int, stragglers int) {
+		tr, err := NewTransport(TransportOptions{Network: "edge", DeadlineSec: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.BeginRound(clients, tensor.NewRNG(seed))
+		tr.Broadcast(nil, clients, vec)
+		for _, ci := range clients {
+			if _, ok := tr.Up(nil, ci, vec, nil); !ok {
+				missed = append(missed, ci)
+				// A second upload from a straggler must also fail, without
+				// double-counting.
+				if _, ok := tr.Up(nil, ci, vec, nil); ok {
+					t.Fatalf("client %d: upload after straggling succeeded", ci)
+				}
+			}
+		}
+		_, _, s := tr.EndRound()
+		return missed, s
+	}
+
+	missedA, stragglersA := run(42)
+	missedB, stragglersB := run(42)
+	if !reflect.DeepEqual(missedA, missedB) {
+		t.Fatalf("straggler selection not deterministic: %v vs %v", missedA, missedB)
+	}
+	if stragglersA != len(missedA) || stragglersA != stragglersB {
+		t.Fatalf("straggler count %d/%d, want %d (each once)", stragglersA, stragglersB, len(missedA))
+	}
+	// 200 KB down (0.8 s at median edge rates) plus 200 KB up (3.2 s)
+	// against a 5 s deadline: the jittered fleet must split — some make
+	// it, some miss — or the scenario tests nothing.
+	if len(missedA) == 0 || len(missedA) == len(clients) {
+		t.Fatalf("degenerate straggler scenario: %d of %d missed", len(missedA), len(clients))
+	}
+
+	// A different seed should eventually produce a different fleet; scan a
+	// few to avoid flakiness.
+	different := false
+	for seed := int64(43); seed < 53; seed++ {
+		if m, _ := run(seed); !reflect.DeepEqual(m, missedA) {
+			different = true
+			break
+		}
+	}
+	if !different {
+		t.Fatal("straggler selection ignores the network RNG stream")
+	}
+}
+
+// TestTransportIdealNetworkNeverStraggles pins that deadlines only bite
+// when the link model charges time.
+func TestTransportIdealNetworkNeverStraggles(t *testing.T) {
+	tr, err := NewTransport(TransportOptions{DeadlineSec: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(1)
+	vec := testVec(rng, 10_000)
+	tr.BeginRound([]int{0}, rng.Split())
+	for i := 0; i < 100; i++ {
+		if _, ok := tr.Up(nil, 0, vec, nil); !ok {
+			t.Fatal("ideal network produced a straggler")
+		}
+	}
+}
+
+// TestNetworkByName pins the preset table and its error path.
+func TestNetworkByName(t *testing.T) {
+	for _, name := range []string{"", "none", "fiber", "wifi", "lte", "edge"} {
+		m, err := NetworkByName(name)
+		if err != nil {
+			t.Fatalf("NetworkByName(%q): %v", name, err)
+		}
+		if name == "" || name == "none" {
+			if !m.Ideal() {
+				t.Fatalf("%q must be ideal", name)
+			}
+		} else if m.Ideal() || m.Name != name {
+			t.Fatalf("%q resolved to %+v", name, m)
+		}
+	}
+	if _, err := NetworkByName("starlink"); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+	if err := (TransportOptions{Codec: "zip"}).Validate(); err == nil {
+		t.Fatal("bad codec accepted")
+	}
+	if err := (TransportOptions{DeadlineSec: -1}).Validate(); err == nil {
+		t.Fatal("negative deadline accepted")
+	}
+}

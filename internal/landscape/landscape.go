@@ -113,7 +113,7 @@ func Scan2D(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, opts O
 			copy(probe, vec)
 			probe.AXPY(xs[i], d1)
 			probe.AXPY(ys[j], d2)
-			_, loss, err := fl.Evaluate(factory, probe, eval, 64)
+			_, loss, err := fl.Evaluate(factory, probe, eval, 64, 0)
 			if err != nil {
 				return nil, fmt.Errorf("landscape: probe (%d,%d): %w", i, j, err)
 			}
@@ -173,7 +173,7 @@ func Sharpness(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, rad
 	if radius <= 0 || nDirs <= 0 {
 		return 0, fmt.Errorf("landscape: Sharpness radius %v / nDirs %d invalid", radius, nDirs)
 	}
-	_, base, err := fl.Evaluate(factory, vec, ds, 64)
+	_, base, err := fl.Evaluate(factory, vec, ds, 64, 0)
 	if err != nil {
 		return 0, fmt.Errorf("landscape: Sharpness base eval: %w", err)
 	}
@@ -184,13 +184,13 @@ func Sharpness(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, rad
 		dir := normalizedDirection(factory, vec, rng)
 		copy(probe, vec)
 		probe.AXPY(radius, dir)
-		_, lp, err := fl.Evaluate(factory, probe, ds, 64)
+		_, lp, err := fl.Evaluate(factory, probe, ds, 64, 0)
 		if err != nil {
 			return 0, fmt.Errorf("landscape: Sharpness probe %d: %w", d, err)
 		}
 		copy(probe, vec)
 		probe.AXPY(-radius, dir)
-		_, lm, err := fl.Evaluate(factory, probe, ds, 64)
+		_, lm, err := fl.Evaluate(factory, probe, ds, 64, 0)
 		if err != nil {
 			return 0, fmt.Errorf("landscape: Sharpness probe -%d: %w", d, err)
 		}

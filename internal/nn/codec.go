@@ -1,0 +1,365 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fedcross/internal/tensor"
+)
+
+// A Codec turns a ParamVector into wire bytes and back — the compression
+// layer of the simulated FL transport. All four built-in codecs emit a
+// content-independent byte count for a given element count (EncodedSize),
+// which is what lets the transport charge byte-accurate network costs and
+// decide straggler deadlines without inspecting payloads.
+//
+// Encode appends to buf (pass buf[:0] to recycle a scratch buffer);
+// Decode writes into a caller-owned destination. Neither retains its
+// arguments, so both compose with the recycled-buffer discipline of the
+// round engine (docs/ARCHITECTURE.md, "Buffer ownership").
+type Codec interface {
+	// Name is the flag-facing identifier ("identity", "fp16", "int8",
+	// "topk:0.1"); CodecByName(Name()) reconstructs the codec.
+	Name() string
+	// Lossless reports whether Decode∘Encode is bit-exact for every input.
+	// The transport uses it to skip the encode/decode copy entirely — the
+	// identity wire is a zero-copy pass-through, preserving today's
+	// histories and allocation profile exactly.
+	Lossless() bool
+	// EncodedSize returns the exact number of bytes Encode appends for an
+	// n-element vector. It is content-independent for every built-in codec.
+	EncodedSize(n int) int64
+	// Encode appends vec's encoded form to buf and returns the extended
+	// slice.
+	Encode(buf []byte, vec ParamVector) []byte
+	// Decode reconstructs an encoded vector into dst, whose length must
+	// equal the encoded element count, and returns the bytes consumed.
+	Decode(dst ParamVector, data []byte) (int, error)
+}
+
+// CodecByName resolves a codec from its flag spelling: "identity" (or
+// ""), "fp16", "int8", "topk" (default keep fraction 0.1) or
+// "topk:<frac>" with frac ∈ (0, 1].
+func CodecByName(name string) (Codec, error) {
+	switch name {
+	case "", "identity":
+		return IdentityCodec{}, nil
+	case "fp16":
+		return FP16Codec{}, nil
+	case "int8":
+		return Int8Codec{}, nil
+	case "topk":
+		return TopKCodec{Frac: 0.1}, nil
+	}
+	if rest, ok := strings.CutPrefix(name, "topk:"); ok {
+		frac, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return nil, fmt.Errorf("nn: bad topk fraction %q: %w", rest, err)
+		}
+		if frac <= 0 || frac > 1 {
+			return nil, fmt.Errorf("nn: topk fraction %v outside (0, 1]", frac)
+		}
+		return TopKCodec{Frac: frac}, nil
+	}
+	return nil, fmt.Errorf("nn: unknown codec %q (want identity, fp16, int8 or topk[:frac])", name)
+}
+
+// Every codec leads with a uint32 element count so a payload is
+// self-describing (checkpoints can be stored wire-encoded) and Decode can
+// reject a destination of the wrong length before touching the body.
+const codecHeaderBytes = 4
+
+func putCount(buf []byte, n int) []byte {
+	var hdr [codecHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(n))
+	return append(buf, hdr[:]...)
+}
+
+func checkCount(dst ParamVector, data []byte, codec string) error {
+	if len(data) < codecHeaderBytes {
+		return fmt.Errorf("nn: %s: truncated header (%d bytes)", codec, len(data))
+	}
+	if n := binary.LittleEndian.Uint32(data); int(n) != len(dst) {
+		return fmt.Errorf("nn: %s: payload has %d elements, destination %d", codec, n, len(dst))
+	}
+	return nil
+}
+
+// IdentityCodec ships raw float64 bits: 8 bytes per parameter, bit-exact
+// (NaN payloads included) — the lossless reference wire.
+type IdentityCodec struct{}
+
+// Name implements Codec.
+func (IdentityCodec) Name() string { return "identity" }
+
+// Lossless implements Codec.
+func (IdentityCodec) Lossless() bool { return true }
+
+// EncodedSize implements Codec.
+func (IdentityCodec) EncodedSize(n int) int64 { return codecHeaderBytes + 8*int64(n) }
+
+// Encode implements Codec.
+func (IdentityCodec) Encode(buf []byte, vec ParamVector) []byte {
+	buf = putCount(buf, len(vec))
+	var w [8]byte
+	for _, v := range vec {
+		binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+		buf = append(buf, w[:]...)
+	}
+	return buf
+}
+
+// Decode implements Codec.
+func (c IdentityCodec) Decode(dst ParamVector, data []byte) (int, error) {
+	if err := checkCount(dst, data, "identity"); err != nil {
+		return 0, err
+	}
+	want := int(c.EncodedSize(len(dst)))
+	if len(data) < want {
+		return 0, fmt.Errorf("nn: identity: body truncated (%d of %d bytes)", len(data), want)
+	}
+	body := data[codecHeaderBytes:]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return want, nil
+}
+
+// FP16Codec ships IEEE binary16: 2 bytes per parameter, ≤ 2⁻¹¹ relative
+// rounding error in the normal half range, ±Inf beyond it, Inf/NaN
+// preserved.
+type FP16Codec struct{}
+
+// Name implements Codec.
+func (FP16Codec) Name() string { return "fp16" }
+
+// Lossless implements Codec.
+func (FP16Codec) Lossless() bool { return false }
+
+// EncodedSize implements Codec.
+func (FP16Codec) EncodedSize(n int) int64 { return codecHeaderBytes + 2*int64(n) }
+
+// Encode implements Codec.
+func (FP16Codec) Encode(buf []byte, vec ParamVector) []byte {
+	buf = putCount(buf, len(vec))
+	var w [2]byte
+	for _, v := range vec {
+		binary.LittleEndian.PutUint16(w[:], tensor.Float16Bits(v))
+		buf = append(buf, w[:]...)
+	}
+	return buf
+}
+
+// Decode implements Codec.
+func (c FP16Codec) Decode(dst ParamVector, data []byte) (int, error) {
+	if err := checkCount(dst, data, "fp16"); err != nil {
+		return 0, err
+	}
+	want := int(c.EncodedSize(len(dst)))
+	if len(data) < want {
+		return 0, fmt.Errorf("nn: fp16: body truncated (%d of %d bytes)", len(data), want)
+	}
+	body := data[codecHeaderBytes:]
+	for i := range dst {
+		dst[i] = tensor.Float16From(binary.LittleEndian.Uint16(body[2*i:]))
+	}
+	return want, nil
+}
+
+// Int8Codec ships per-tensor affine quantization: the finite value range
+// [min, max] is mapped onto the 256 grid points min + q·(max−min)/255, so
+// each finite parameter decodes within (max−min)/510 of its value — one
+// byte per parameter plus a 16-byte affine header. Non-finite inputs are
+// clamped onto the finite grid (+Inf → max, −Inf and NaN → min): the
+// decoded wire is finite by construction. An all-equal vector has scale
+// 0 and round-trips exactly (every point decodes to min).
+type Int8Codec struct{}
+
+// Name implements Codec.
+func (Int8Codec) Name() string { return "int8" }
+
+// Lossless implements Codec.
+func (Int8Codec) Lossless() bool { return false }
+
+// EncodedSize implements Codec.
+func (Int8Codec) EncodedSize(n int) int64 { return codecHeaderBytes + 16 + int64(n) }
+
+// Encode implements Codec.
+func (Int8Codec) Encode(buf []byte, vec ParamVector) []byte {
+	buf = putCount(buf, len(vec))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vec {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo > hi { // no finite values (or empty): pin the grid at zero
+		lo, hi = 0, 0
+	}
+	scale := (hi - lo) / 255
+	var w [16]byte
+	binary.LittleEndian.PutUint64(w[:8], math.Float64bits(lo))
+	binary.LittleEndian.PutUint64(w[8:], math.Float64bits(scale))
+	buf = append(buf, w[:]...)
+	for _, v := range vec {
+		q := 0.0
+		if scale > 0 {
+			q = math.Round((v - lo) / scale)
+		}
+		// !(q >= 0) also catches NaN inputs (and NaN from 0·Inf above).
+		if !(q >= 0) {
+			q = 0
+		} else if q > 255 {
+			q = 255
+		}
+		buf = append(buf, byte(q))
+	}
+	return buf
+}
+
+// Decode implements Codec.
+func (c Int8Codec) Decode(dst ParamVector, data []byte) (int, error) {
+	if err := checkCount(dst, data, "int8"); err != nil {
+		return 0, err
+	}
+	want := int(c.EncodedSize(len(dst)))
+	if len(data) < want {
+		return 0, fmt.Errorf("nn: int8: body truncated (%d of %d bytes)", len(data), want)
+	}
+	lo := math.Float64frombits(binary.LittleEndian.Uint64(data[codecHeaderBytes:]))
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(data[codecHeaderBytes+8:]))
+	body := data[codecHeaderBytes+16:]
+	for i := range dst {
+		dst[i] = lo + scale*float64(body[i])
+	}
+	return want, nil
+}
+
+// TopKCodec ships magnitude sparsification: the ⌈Frac·n⌉ largest-magnitude
+// entries travel as (uint32 index, float32 value) pairs; everything else
+// decodes to zero — which, under the transport's delta encoding, means
+// "unchanged since the reference". Selection is deterministic: magnitude
+// ties break toward the lower index, and NaN sorts as +Inf so a poisoned
+// coordinate is always shipped rather than silently dropped.
+type TopKCodec struct {
+	// Frac is the kept fraction, in (0, 1].
+	Frac float64
+}
+
+// Name implements Codec.
+func (c TopKCodec) Name() string { return fmt.Sprintf("topk:%g", c.Frac) }
+
+// Lossless implements Codec.
+func (TopKCodec) Lossless() bool { return false }
+
+// Keep returns the number of entries shipped for an n-element vector.
+func (c TopKCodec) Keep(n int) int {
+	if n == 0 {
+		return 0
+	}
+	k := int(math.Ceil(c.Frac * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// EncodedSize implements Codec.
+func (c TopKCodec) EncodedSize(n int) int64 {
+	return codecHeaderBytes + 4 + 8*int64(c.Keep(n))
+}
+
+// topkMag orders NaN above everything so poisoned coordinates are shipped.
+func topkMag(v float64) float64 {
+	if math.IsNaN(v) {
+		return math.Inf(1)
+	}
+	return math.Abs(v)
+}
+
+// Encode implements Codec.
+func (c TopKCodec) Encode(buf []byte, vec ParamVector) []byte {
+	buf = putCount(buf, len(vec))
+	k := c.Keep(len(vec))
+	var w [8]byte
+	binary.LittleEndian.PutUint32(w[:4], uint32(k))
+	buf = append(buf, w[:4]...)
+	if k == 0 {
+		return buf
+	}
+	// Threshold = k-th largest magnitude, from a sorted scratch copy; the
+	// pass below then takes strictly-greater entries first and fills the
+	// remainder with threshold ties in index order — fully deterministic.
+	mags := make([]float64, len(vec))
+	for i, v := range vec {
+		mags[i] = topkMag(v)
+	}
+	sort.Float64s(mags)
+	thresh := mags[len(vec)-k]
+
+	emit := func(i int) {
+		binary.LittleEndian.PutUint32(w[:4], uint32(i))
+		binary.LittleEndian.PutUint32(w[4:], math.Float32bits(float32(vec[i])))
+		buf = append(buf, w[:]...)
+	}
+	left := k
+	for i, v := range vec {
+		if left > 0 && topkMag(v) > thresh {
+			emit(i)
+			left--
+		}
+	}
+	for i, v := range vec {
+		if left == 0 {
+			break
+		}
+		if topkMag(v) == thresh {
+			emit(i)
+			left--
+		}
+	}
+	return buf
+}
+
+// Decode implements Codec.
+func (c TopKCodec) Decode(dst ParamVector, data []byte) (int, error) {
+	if err := checkCount(dst, data, "topk"); err != nil {
+		return 0, err
+	}
+	if len(data) < codecHeaderBytes+4 {
+		return 0, fmt.Errorf("nn: topk: truncated pair count")
+	}
+	k := int(binary.LittleEndian.Uint32(data[codecHeaderBytes:]))
+	if k != c.Keep(len(dst)) {
+		return 0, fmt.Errorf("nn: topk: payload keeps %d entries, codec %d", k, c.Keep(len(dst)))
+	}
+	want := int(c.EncodedSize(len(dst)))
+	if len(data) < want {
+		return 0, fmt.Errorf("nn: topk: body truncated (%d of %d bytes)", len(data), want)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	body := data[codecHeaderBytes+4:]
+	for p := 0; p < k; p++ {
+		idx := int(binary.LittleEndian.Uint32(body[8*p:]))
+		if idx >= len(dst) {
+			return 0, fmt.Errorf("nn: topk: index %d out of range %d", idx, len(dst))
+		}
+		dst[idx] = float64(math.Float32frombits(binary.LittleEndian.Uint32(body[8*p+4:])))
+	}
+	return want, nil
+}

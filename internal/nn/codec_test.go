@@ -1,0 +1,277 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fedcross/internal/tensor"
+)
+
+func allCodecs(t *testing.T) []Codec {
+	t.Helper()
+	var out []Codec
+	for _, name := range []string{"identity", "fp16", "int8", "topk", "topk:0.25"} {
+		c, err := CodecByName(name)
+		if err != nil {
+			t.Fatalf("CodecByName(%q): %v", name, err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func randVec(rng *tensor.RNG, n int, scale float64) ParamVector {
+	v := make(ParamVector, n)
+	for i := range v {
+		v[i] = rng.Normal(0, scale)
+	}
+	return v
+}
+
+// roundTrip encodes and decodes vec through c, checking the byte count
+// against EncodedSize on the way.
+func roundTrip(t *testing.T, c Codec, vec ParamVector) ParamVector {
+	t.Helper()
+	buf := c.Encode(nil, vec)
+	if got, want := int64(len(buf)), c.EncodedSize(len(vec)); got != want {
+		t.Fatalf("%s: Encode produced %d bytes, EncodedSize promises %d (n=%d)", c.Name(), got, want, len(vec))
+	}
+	dst := make(ParamVector, len(vec))
+	consumed, err := c.Decode(dst, buf)
+	if err != nil {
+		t.Fatalf("%s: Decode: %v", c.Name(), err)
+	}
+	if consumed != len(buf) {
+		t.Fatalf("%s: Decode consumed %d of %d bytes", c.Name(), consumed, len(buf))
+	}
+	return dst
+}
+
+// TestCodecByNameRoundTrips pins that every codec's Name() resolves back
+// to an equivalent codec, and that bad spellings are rejected.
+func TestCodecByNameRoundTrips(t *testing.T) {
+	for _, c := range allCodecs(t) {
+		back, err := CodecByName(c.Name())
+		if err != nil {
+			t.Fatalf("CodecByName(%q): %v", c.Name(), err)
+		}
+		if back.Name() != c.Name() {
+			t.Fatalf("name round-trip: %q -> %q", c.Name(), back.Name())
+		}
+	}
+	for _, bad := range []string{"gzip", "topk:0", "topk:1.5", "topk:x", "int4"} {
+		if _, err := CodecByName(bad); err == nil {
+			t.Fatalf("CodecByName(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestCodecZeroLength pins the empty-vector path: every codec must
+// round-trip a zero-length vector through a header-only payload.
+func TestCodecZeroLength(t *testing.T) {
+	for _, c := range allCodecs(t) {
+		dst := roundTrip(t, c, ParamVector{})
+		if len(dst) != 0 {
+			t.Fatalf("%s: decoded %d elements from empty vector", c.Name(), len(dst))
+		}
+	}
+}
+
+// TestIdentityCodecBitExact pins the lossless contract on a hostile
+// vector: NaN (payload bits included), ±Inf, subnormals, negative zero.
+func TestIdentityCodecBitExact(t *testing.T) {
+	vec := ParamVector{
+		0, math.Copysign(0, -1), 1.5, -2.75, math.NaN(), math.Inf(1), math.Inf(-1),
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64, math.MaxFloat64,
+	}
+	dst := roundTrip(t, IdentityCodec{}, vec)
+	for i := range vec {
+		if math.Float64bits(dst[i]) != math.Float64bits(vec[i]) {
+			t.Fatalf("identity: element %d: %x -> %x", i, math.Float64bits(vec[i]), math.Float64bits(dst[i]))
+		}
+	}
+	if !(IdentityCodec{}).Lossless() {
+		t.Fatal("identity codec must report Lossless")
+	}
+}
+
+// TestFP16CodecErrorBound pins the half-precision contract: relative
+// error ≤ 2⁻¹¹ in the normal half range, Inf/NaN preserved, overflow to
+// ±Inf, and exact round-trips for exactly-representable values.
+func TestFP16CodecErrorBound(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	vec := randVec(rng, 4096, 1.0)
+	dst := roundTrip(t, FP16Codec{}, vec)
+	for i, v := range vec {
+		rel := math.Abs(dst[i]-v) / math.Abs(v)
+		if rel > 1.0/2048 {
+			t.Fatalf("fp16: element %d: %v -> %v, rel error %v > 2^-11", i, v, dst[i], rel)
+		}
+	}
+
+	specials := ParamVector{math.NaN(), math.Inf(1), math.Inf(-1), 1e10, -1e10, 65504, 0.25, -1, 0, 2.9802322387695312e-08 /* 2^-25, ties to zero */}
+	got := roundTrip(t, FP16Codec{}, specials)
+	switch {
+	case !math.IsNaN(got[0]):
+		t.Fatalf("fp16: NaN -> %v", got[0])
+	case !math.IsInf(got[1], 1) || !math.IsInf(got[2], -1):
+		t.Fatalf("fp16: Inf -> %v, %v", got[1], got[2])
+	case !math.IsInf(got[3], 1) || !math.IsInf(got[4], -1):
+		t.Fatalf("fp16: overflow -> %v, %v (want ±Inf)", got[3], got[4])
+	case got[5] != 65504:
+		t.Fatalf("fp16: max finite half 65504 -> %v", got[5])
+	case got[6] != 0.25 || got[7] != -1 || got[8] != 0:
+		t.Fatalf("fp16: exact values drifted: %v", got[6:9])
+	case got[9] != 0:
+		t.Fatalf("fp16: 2^-25 -> %v, want 0 (round to even)", got[9])
+	}
+}
+
+// TestInt8CodecErrorBound pins the affine quantization contract: every
+// finite value decodes within (max−min)/510 of itself, non-finite inputs
+// clamp onto the finite grid, and an all-equal vector (scale 0) is exact.
+func TestInt8CodecErrorBound(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	vec := randVec(rng, 4096, 3.0)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vec {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	bound := (hi - lo) / 510 * (1 + 1e-12)
+	dst := roundTrip(t, Int8Codec{}, vec)
+	for i, v := range vec {
+		if math.Abs(dst[i]-v) > bound {
+			t.Fatalf("int8: element %d: %v -> %v, error %v > %v", i, v, dst[i], math.Abs(dst[i]-v), bound)
+		}
+	}
+
+	// Range endpoints land on grid points: exact up to the one float64
+	// rounding in lo + 255·((hi−lo)/255).
+	ulps := func(a, b float64) float64 {
+		return math.Abs(a-b) / (math.Nextafter(math.Abs(b), math.Inf(1)) - math.Abs(b))
+	}
+	if got := roundTrip(t, Int8Codec{}, ParamVector{lo, hi, (lo + hi) / 2}); got[0] != lo || ulps(got[1], hi) > 4 {
+		t.Fatalf("int8: endpoints drifted: %v -> %v, %v -> %v", lo, got[0], hi, got[1])
+	}
+
+	// Non-finite inputs clamp onto the finite range; the wire is finite.
+	specials := ParamVector{math.Inf(1), math.Inf(-1), math.NaN(), -2, 2}
+	got := roundTrip(t, Int8Codec{}, specials)
+	switch {
+	case ulps(got[0], 2) > 4:
+		t.Fatalf("int8: +Inf -> %v, want max 2", got[0])
+	case got[1] != -2:
+		t.Fatalf("int8: -Inf -> %v, want min -2", got[1])
+	case got[2] != -2:
+		t.Fatalf("int8: NaN -> %v, want min -2", got[2])
+	}
+}
+
+// TestInt8CodecDegenerate pins the scale=0 edge cases: all-equal vectors
+// round-trip exactly, and an all-non-finite vector decodes to zeros.
+func TestInt8CodecDegenerate(t *testing.T) {
+	allEqual := ParamVector{1.25, 1.25, 1.25, 1.25}
+	got := roundTrip(t, Int8Codec{}, allEqual)
+	for i, v := range got {
+		if v != 1.25 {
+			t.Fatalf("int8 all-equal: element %d: %v", i, v)
+		}
+	}
+	noFinite := ParamVector{math.NaN(), math.Inf(1), math.Inf(-1)}
+	got = roundTrip(t, Int8Codec{}, noFinite)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("int8 no-finite: element %d: %v, want 0", i, v)
+		}
+	}
+}
+
+// TestTopKCodecSelection pins sparsification: exactly ⌈frac·n⌉ entries
+// survive, they are the largest magnitudes with ties broken toward lower
+// indices, kept values carry at most float32 rounding error, dropped
+// entries decode to zero, and a NaN coordinate is always shipped.
+func TestTopKCodecSelection(t *testing.T) {
+	c := TopKCodec{Frac: 0.25}
+	vec := ParamVector{0.1, -5, 0.2, 3, -0.3, 0.5, 4, -0.05} // n=8 -> keep 2: -5 and 4
+	got := roundTrip(t, c, vec)
+	want := ParamVector{0, -5, 0, 0, 0, 0, 4, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("topk: element %d: %v, want %v (full %v)", i, got[i], want[i], got)
+		}
+	}
+
+	// Ties: all-equal magnitudes keep the lowest indices.
+	ties := ParamVector{1, -1, 1, -1}
+	got = roundTrip(t, TopKCodec{Frac: 0.5}, ties)
+	if got[0] != 1 || got[1] != -1 || got[2] != 0 || got[3] != 0 {
+		t.Fatalf("topk ties: %v, want [1 -1 0 0]", got)
+	}
+
+	// NaN sorts above everything: it must be shipped, not dropped.
+	poisoned := ParamVector{1, math.NaN(), 2, 3}
+	got = roundTrip(t, TopKCodec{Frac: 0.25}, poisoned)
+	if !math.IsNaN(got[1]) {
+		t.Fatalf("topk: NaN coordinate dropped: %v", got)
+	}
+
+	// Kept values are float32-rounded, nothing worse.
+	rng := tensor.NewRNG(3)
+	dense := randVec(rng, 1000, 1.0)
+	got = roundTrip(t, TopKCodec{Frac: 0.1}, dense)
+	kept := 0
+	for i, v := range got {
+		if v == 0 {
+			continue
+		}
+		kept++
+		if v != float64(float32(dense[i])) {
+			t.Fatalf("topk: kept element %d: %v, want float32(%v)", i, v, dense[i])
+		}
+	}
+	if kept != 100 {
+		t.Fatalf("topk: kept %d of 1000, want 100", kept)
+	}
+}
+
+// TestCodecDecodeRejectsGarbage pins the defensive paths: wrong
+// destination length, truncated bodies, and out-of-range topk indices
+// must error, never panic or write out of bounds.
+func TestCodecDecodeRejectsGarbage(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	vec := randVec(rng, 64, 1.0)
+	for _, c := range allCodecs(t) {
+		buf := c.Encode(nil, vec)
+		if _, err := c.Decode(make(ParamVector, 63), buf); err == nil {
+			t.Fatalf("%s: decode into short destination succeeded", c.Name())
+		}
+		if _, err := c.Decode(make(ParamVector, 64), buf[:len(buf)-1]); err == nil {
+			t.Fatalf("%s: decode of truncated body succeeded", c.Name())
+		}
+		if _, err := c.Decode(make(ParamVector, 64), buf[:2]); err == nil {
+			t.Fatalf("%s: decode of truncated header succeeded", c.Name())
+		}
+	}
+}
+
+// TestFloat16KernelExhaustive round-trips every representable half value
+// through the tensor conversion kernels: expand to float64, re-encode,
+// and require the identical bit pattern (NaN excepted — any NaN encoding
+// is acceptable as long as it stays NaN).
+func TestFloat16KernelExhaustive(t *testing.T) {
+	for bits := 0; bits <= 0xffff; bits++ {
+		b := uint16(bits)
+		v := tensor.Float16From(b)
+		back := tensor.Float16Bits(v)
+		if math.IsNaN(v) {
+			if back&0x7c00 != 0x7c00 || back&0x03ff == 0 {
+				t.Fatalf("bits %#04x: NaN re-encoded as %#04x (not NaN)", b, back)
+			}
+			continue
+		}
+		if back != b {
+			t.Fatalf("bits %#04x -> %v -> %#04x", b, v, back)
+		}
+	}
+}

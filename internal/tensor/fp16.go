@@ -1,0 +1,97 @@
+package tensor
+
+import "math"
+
+// IEEE-754 binary16 conversion kernels. The nn codec layer packs model
+// payloads through these when the wire runs at half precision; they live
+// here because they are pure numeric kernels with no model semantics.
+//
+// binary16 layout: 1 sign bit, 5 exponent bits (bias 15), 10 mantissa
+// bits. Largest finite value 65504; smallest positive subnormal 2⁻²⁴.
+
+const (
+	f16Infinity = 0x7c00
+	f16QuietNaN = 0x7e00
+)
+
+// Float16Bits converts v to binary16 bits, rounding to nearest even
+// directly from the float64 significand (no intermediate float32, so no
+// double rounding). Values beyond the half range overflow to ±Inf;
+// magnitudes below 2⁻¹⁴ become subnormal halves; NaN maps to a quiet NaN.
+func Float16Bits(v float64) uint16 {
+	b := math.Float64bits(v)
+	sign := uint16(b >> 48 & 0x8000)
+	rawExp := int(b >> 52 & 0x7ff)
+	man := b & (1<<52 - 1)
+
+	if rawExp == 0x7ff { // Inf or NaN
+		if man != 0 {
+			return sign | f16QuietNaN
+		}
+		return sign | f16Infinity
+	}
+	if rawExp == 0 {
+		// float64 subnormal: magnitude < 2⁻¹⁰²², far below the smallest
+		// half subnormal (2⁻²⁴); rounds to signed zero.
+		return sign
+	}
+	exp := rawExp - 1023
+	if exp > 15 { // ≥ 2¹⁶: beyond the largest finite half
+		return sign | f16Infinity
+	}
+	if exp >= -14 { // normal half range [2⁻¹⁴, 2¹⁶)
+		q := rneShift(man, 52-10)
+		// Adding the rounded mantissa into the combined field lets a
+		// mantissa overflow (q == 1<<10) carry into the exponent for free;
+		// a carry out of exp==15 lands exactly on the Inf encoding.
+		combined := uint32(exp+15)<<10 + uint32(q)
+		if combined >= 31<<10 {
+			return sign | f16Infinity
+		}
+		return sign | uint16(combined)
+	}
+	// Subnormal half: express 1.man × 2^exp in units of 2⁻²⁴. The 53-bit
+	// significand sig represents sig × 2^(exp−52), so the unit count is
+	// sig × 2^(exp−28) — a right shift of 28−exp ≥ 43 bits. A round-up to
+	// q == 1<<10 is the smallest normal half, again encoded for free.
+	sig := man | 1<<52
+	shift := uint(28 - exp)
+	if shift > 63 {
+		return sign
+	}
+	return sign | uint16(rneShift(sig, shift))
+}
+
+// rneShift shifts man right by shift ∈ [1,63] bits, rounding to nearest
+// with ties to even.
+func rneShift(man uint64, shift uint) uint64 {
+	q := man >> shift
+	rem := man & (1<<shift - 1)
+	half := uint64(1) << (shift - 1)
+	if rem > half || (rem == half && q&1 == 1) {
+		q++
+	}
+	return q
+}
+
+// Float16From expands binary16 bits to float64 exactly (every half value
+// is representable in float64).
+func Float16From(bits uint16) float64 {
+	sign := 1.0
+	if bits&0x8000 != 0 {
+		sign = -1
+	}
+	exp := int(bits >> 10 & 0x1f)
+	man := int(bits & 0x3ff)
+	switch exp {
+	case 0: // zero or subnormal: man × 2⁻²⁴
+		return sign * math.Ldexp(float64(man), -24)
+	case 31: // Inf or NaN
+		if man != 0 {
+			return math.NaN()
+		}
+		return sign * math.Inf(1)
+	default:
+		return sign * math.Ldexp(float64(1<<10|man), exp-15-10)
+	}
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the perf-tracking benchmarks and emit a machine-readable
-# snapshot (default BENCH_pr3.json) so the repo's performance trajectory
+# snapshot (default BENCH_pr4.json) so the repo's performance trajectory
 # is diffable across PRs.
 #
 # Usage:
@@ -14,13 +14,15 @@
 #
 # Each JSON record carries ns_per_op, allocs_per_op, bytes_per_op and
 # mb_per_op as reported by -benchmem, plus any domain metrics the bench
-# emitted via b.ReportMetric (accuracy, skew, sharpness, ...).
+# emitted via b.ReportMetric (accuracy, skew, sharpness, and — since the
+# transport layer — wire bytes per round / per payload, so the trajectory
+# covers communication as well as compute).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr3.json}
+OUT=${1:-BENCH_pr4.json}
 BENCHTIME=${BENCHTIME:-1x}
-BENCH=${BENCH:-'BenchmarkRoundParallel|BenchmarkTable|BenchmarkFig|BenchmarkAblation|BenchmarkTheory|BenchmarkCrossAggr|BenchmarkCosineSimilarity|BenchmarkSimilarityMatrix|BenchmarkLocalTrainingCNN|BenchmarkLandscapeScan'}
+BENCH=${BENCH:-'BenchmarkRoundParallel|BenchmarkTransportCodecs|BenchmarkTable|BenchmarkFig|BenchmarkAblation|BenchmarkTheory|BenchmarkCrossAggr|BenchmarkCosineSimilarity|BenchmarkSimilarityMatrix|BenchmarkLocalTrainingCNN|BenchmarkLandscapeScan'}
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
