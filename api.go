@@ -238,7 +238,7 @@ func ScanLandscape(factory ModelFactory, vec ParamVector, ds *data.Dataset, opts
 // Sharpness measures loss-surface curvature around a model; lower is
 // flatter.
 func Sharpness(factory ModelFactory, vec ParamVector, ds *data.Dataset, radius float64, nDirs int, seed int64) (float64, error) {
-	return landscape.Sharpness(factory, vec, ds, radius, nDirs, seed)
+	return landscape.Sharpness(factory, vec, ds, radius, nDirs, seed, fl.Workers{})
 }
 
 // ConvergenceAssumptions carries the Theorem-1 constants; see
@@ -265,5 +265,5 @@ type PerClientReport = fl.PerClientReport
 // at most workers goroutines (0 means every core, the same convention as
 // Config.Parallelism). Results are identical at every worker count.
 func EvaluatePerClient(env *Env, vec ParamVector, batchSize, workers int) (*PerClientReport, error) {
-	return fl.EvaluatePerClient(env, vec, batchSize, workers)
+	return fl.EvaluatePerClient(env, vec, batchSize, fl.Limit(workers))
 }

@@ -15,6 +15,7 @@ import (
 	"io"
 	"runtime"
 	"testing"
+	"time"
 
 	"fedcross/internal/core"
 	"fedcross/internal/data"
@@ -362,6 +363,48 @@ func BenchmarkRoundParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkExperimentScheduler measures the experiment scheduler on a
+// TableII smoke slice — six algorithms × two heterogeneity settings, the
+// grid whose serial execution dominated the pre-scheduler wall-clock — at
+// sequential cells (jobs-1) and at every core. Results are bit-identical
+// (TestSchedulerDeterminism), so the timing ratio is pure grid-level
+// speedup; tableII_smoke_s reports the wall-clock in seconds for the
+// BENCH trajectory, and cpus records the cores the ratio was measured
+// on — on a 1-core box jobs-all necessarily ≈ jobs-1 (only the shared
+// environment builds help), so read the ratio together with cpus.
+func BenchmarkExperimentScheduler(b *testing.B) {
+	cases := []struct {
+		name string
+		jobs int
+	}{
+		{"jobs-1", 1},
+		{"jobs-all", runtime.NumCPU()},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prof := benchProfile()
+				prof.Jobs = bc.jobs
+				start := time.Now()
+				res, err := experiments.RunTableII(experiments.TableIIOptions{
+					Profile:  prof,
+					Models:   []string{"cnn"},
+					Datasets: []string{"vision10"},
+					Hets:     []data.Heterogeneity{{Beta: 0.5}, {IID: true}},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.Render(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(time.Since(start).Seconds(), "tableII_smoke_s")
+				b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+			}
+		})
+	}
+}
+
 // BenchmarkTransportCodecs measures the encode+decode cost of every wire
 // codec on a model-sized payload and reports the bytes each one puts on
 // the wire — the communication half of the perf trajectory, next to the
@@ -438,7 +481,7 @@ func BenchmarkSimilarityMatrix(b *testing.B) {
 	}
 	b.Run("gram", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_ = core.NewSimMatrix(w, core.CosineMeasure(), 0)
+			_ = core.NewSimMatrix(w, core.CosineMeasure(), fl.Workers{})
 		}
 	})
 	b.Run("naive", func(b *testing.B) {

@@ -8,13 +8,19 @@
 //	fedsim -experiment fig5 -profile small -models cnn,resnet
 //	fedsim -experiment all -profile tiny
 //	fedsim -experiment table2 -parallel 1     # force serial rounds (same results)
+//	fedsim -experiment table2 -jobs 1         # force sequential grid cells (same results)
 //	fedsim -experiment comm -codecs identity,int8,topk
 //	fedsim -experiment table2 -codec fp16 -net lte -deadline 30
 //
 // Profiles: tiny (seconds), small (minutes), paper (the scaled
-// paper-shaped setup; hours for the full grid). Client-local training
-// fans out across all cores by default; -parallel caps the worker count
-// without changing any result (randomness is pre-split per client).
+// paper-shaped setup; hours for the full grid). Every experiment grid
+// runs its (dataset, model, heterogeneity, algorithm, seed) cells
+// concurrently through the experiment scheduler: -jobs caps how many
+// cells are in flight, client-local training inside each cell fans out
+// under -parallel, and both levels lease goroutines from one global
+// worker budget so no combination oversubscribes the machine. Neither
+// flag changes any result (randomness is pre-split per client, and cells
+// are independent).
 //
 // The simulated wire: -codec compresses every model payload (identity,
 // fp16, int8, topk[:frac]), -net draws per-client bandwidth/latency from
@@ -50,6 +56,7 @@ func main() {
 		rounds     = flag.Int("rounds", 0, "override the profile's round count (0 keeps profile default)")
 		seeds      = flag.Int("seeds", 0, "override the number of seeds (0 keeps profile default)")
 		parallel   = flag.Int("parallel", 0, "worker goroutines for client training/eval (0 = all cores, 1 = serial; results are identical)")
+		jobs       = flag.Int("jobs", 0, "concurrent experiment grid cells (0 = all cores, 1 = sequential; results are identical)")
 		codec      = flag.String("codec", "identity", "wire codec for model payloads: identity, fp16, int8, topk[:frac]")
 		network    = flag.String("net", "none", "simulated link model: none, fiber, wifi, lte, edge")
 		deadline   = flag.Float64("deadline", 0, "per-round client deadline in seconds (0 = none); late uploads become stragglers")
@@ -68,6 +75,10 @@ func main() {
 		fatal(fmt.Errorf("-parallel %d must be non-negative", *parallel))
 	}
 	prof.Parallelism = *parallel
+	if *jobs < 0 {
+		fatal(fmt.Errorf("-jobs %d must be non-negative", *jobs))
+	}
+	prof.Jobs = *jobs
 	prof.Codec = *codec
 	prof.Network = *network
 	if *deadline < 0 {

@@ -49,7 +49,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		sharp, err := landscape.Sharpness(env.Model, algo.Global(), env.Fed.Test, *radius/2, 4, *seed)
+		sharp, err := landscape.Sharpness(env.Model, algo.Global(), env.Fed.Test, *radius/2, 4, *seed, fl.Workers{})
 		if err != nil {
 			fatal(err)
 		}

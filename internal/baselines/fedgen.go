@@ -151,7 +151,7 @@ func (a *FedGen) Round(r int, selected []int) error {
 			RNG: a.rng.Split(),
 		})
 	}
-	results, err := fl.TrainAll(a.env, jobs, a.cfg.Workers())
+	results, err := fl.TrainAll(a.env, jobs, a.cfg.Allowance())
 	if err != nil {
 		return fmt.Errorf("baselines: fedgen round %d: %w", r, err)
 	}

@@ -81,7 +81,7 @@ func (a *SCAFFOLD) Round(r int, selected []int) error {
 			RNG: a.rng.Split(),
 		})
 	}
-	results, err := fl.TrainAll(a.env, jobs, a.cfg.Workers())
+	results, err := fl.TrainAll(a.env, jobs, a.cfg.Allowance())
 	if err != nil {
 		return fmt.Errorf("baselines: scaffold round %d: %w", r, err)
 	}

@@ -270,7 +270,7 @@ func (f *FedCross) Round(r int, selected []int) error {
 		slots = append(slots, i)
 		clients = append(clients, ci)
 	}
-	results, err := fl.TrainAll(f.env, jobs, f.cfg.Workers())
+	results, err := fl.TrainAll(f.env, jobs, f.cfg.Allowance())
 	if err != nil {
 		return fmt.Errorf("core: FedCross round %d: %w", r, err)
 	}
@@ -338,7 +338,7 @@ func (f *FedCross) aggregate(r int, uploads []nn.ParamVector) []nn.ParamVector {
 	usePropeller := f.propellerActive(r)
 	var gram *SimMatrix
 	if !usePropeller && (f.opts.Strategy == HighestSimilarity || f.opts.Strategy == LowestSimilarity) {
-		gram = NewSimMatrix(uploads, f.opts.Similarity, f.cfg.Workers())
+		gram = NewSimMatrix(uploads, f.opts.Similarity, f.cfg.Allowance())
 	}
 	for i := 0; i < k; i++ {
 		if usePropeller {

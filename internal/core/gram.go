@@ -29,7 +29,8 @@ type SimMatrix struct {
 func (m *SimMatrix) At(i, j int) float64 { return m.s[i*m.K+j] }
 
 // NewSimMatrix scores every pair of uploads under measure m, in parallel
-// across at most workers goroutines. For measures with a FromDot form the
+// across the allowance w (fl.Workers{} means every core, unbudgeted; a
+// budget leases the fan-out from the pool shared with concurrent runs). For measures with a FromDot form the
 // pass is fused and norm-cached: K squared norms are computed once, then
 // each unordered pair costs a single dot product — cells are bit-identical
 // to m.Pair (the nn kernels accumulate in one fixed order whether fused or
@@ -37,7 +38,7 @@ func (m *SimMatrix) At(i, j int) float64 { return m.s[i*m.K+j] }
 // pair, preserving exactness for asymmetric custom measures. Every cell is
 // a pure function of its pair, so the result is independent of workers and
 // scheduling.
-func NewSimMatrix(w []nn.ParamVector, m Measure, workers int) *SimMatrix {
+func NewSimMatrix(w []nn.ParamVector, m Measure, wk fl.Workers) *SimMatrix {
 	k := len(w)
 	if k < 2 {
 		panic(fmt.Sprintf("core: NewSimMatrix requires at least 2 models, got %d", k))
@@ -50,15 +51,15 @@ func NewSimMatrix(w []nn.ParamVector, m Measure, workers int) *SimMatrix {
 	sm := &SimMatrix{K: k, s: make([]float64, k*k)}
 	if m.FromDot != nil {
 		normsSq := make([]float64, k)
-		fl.ParallelFor(k, workers, func(i int) { normsSq[i] = w[i].NormSq() })
-		fl.ParallelFor(k*(k-1)/2, workers, func(p int) {
+		fl.ParallelForW(k, wk, func(i int) { normsSq[i] = w[i].NormSq() })
+		fl.ParallelForW(k*(k-1)/2, wk, func(p int) {
 			i, j := pairIndex(p, k)
 			s := m.FromDot(w[i].Dot(w[j]), normsSq[i], normsSq[j])
 			sm.s[i*k+j], sm.s[j*k+i] = s, s
 		})
 		return sm
 	}
-	fl.ParallelFor(k*k, workers, func(p int) {
+	fl.ParallelForW(k*k, wk, func(p int) {
 		i, j := p/k, p%k
 		if i != j {
 			sm.s[p] = m.Pair(w[i], w[j])

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"fedcross/internal/fl"
 	"fedcross/internal/nn"
 	"fedcross/internal/tensor"
 )
@@ -38,7 +39,7 @@ func TestSimMatrixMatchesNaive(t *testing.T) {
 	k := len(w)
 	for _, meas := range []Measure{CosineMeasure(), PaperMeasure(), EuclideanMeasure()} {
 		for _, workers := range []int{1, 4} {
-			m := NewSimMatrix(w, meas, workers)
+			m := NewSimMatrix(w, meas, fl.Limit(workers))
 			for i := 0; i < k; i++ {
 				for j := 0; j < k; j++ {
 					if i == j {
@@ -71,7 +72,7 @@ func TestSimMatrixMatchesNaive(t *testing.T) {
 // default: a zero-valued Measure scores with cosine.
 func TestSimMatrixDefaultsToCosine(t *testing.T) {
 	w := gramUploads()
-	m := NewSimMatrix(w, Measure{}, 2)
+	m := NewSimMatrix(w, Measure{}, fl.Limit(2))
 	if got, want := m.At(0, 1), CosineSimilarity(w[0], w[1]); got != want {
 		t.Fatalf("default measure: got %v, want cosine %v", got, want)
 	}
@@ -85,7 +86,7 @@ func TestSimMatrixCustomAsymmetric(t *testing.T) {
 	asym := Measure{Name: "first-coord", Pair: func(a, b nn.ParamVector) float64 {
 		return a[0] - 2*b[0]
 	}}
-	m := NewSimMatrix(w, asym, 3)
+	m := NewSimMatrix(w, asym, fl.Limit(3))
 	for i := range w {
 		for j := range w {
 			if i == j {
@@ -111,7 +112,7 @@ func TestPairlessMeasureRejected(t *testing.T) {
 			t.Fatal("expected NewSimMatrix to panic on a measure without Pair")
 		}
 	}()
-	NewSimMatrix(gramUploads(), Measure{Name: "mysim"}, 1)
+	NewSimMatrix(gramUploads(), Measure{Name: "mysim"}, fl.Limit(1))
 }
 
 func TestPairIndexCoversUpperTriangle(t *testing.T) {

@@ -65,30 +65,34 @@ func (r *AblationResult) Render(w io.Writer) error {
 	return err
 }
 
-// runVariants executes FedCross once per option set per seed and collects
-// final accuracies.
+// runVariants executes FedCross once per option set per seed — one
+// scheduled grid, every variant sharing the per-seed environment build —
+// and collects final accuracies.
 func runVariants(opts AblationOptions, title string, variants map[string]core.Options, order []string) (*AblationResult, error) {
 	res := &AblationResult{Title: title}
 	het := data.Heterogeneity{Beta: opts.Beta}
-	for _, name := range order {
-		fcOpts := variants[name]
-		var finals []float64
-		for _, seed := range opts.Profile.Seeds {
-			env, err := opts.Profile.BuildEnv("vision10", opts.Model, het, seed)
-			if err != nil {
-				return nil, err
-			}
-			algo, err := core.New(fcOpts)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation %s: %w", name, err)
-			}
-			hist, err := fl.Run(algo, env, opts.Profile.Config(seed))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation %s: %w", name, err)
-			}
-			finals = append(finals, hist.Final().TestAcc)
+	seeds := opts.Profile.Seeds
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: ablation %q needs at least one seed", title)
+	}
+	finals := make([]float64, len(order)*len(seeds))
+	s := newScheduler(opts.Profile)
+	err := s.Run(len(finals), func(i int) error {
+		name := order[i/len(seeds)]
+		seed := seeds[i%len(seeds)]
+		hist, _, _, err := s.runOne(opts.Profile, "vision10", opts.Model, het, seed,
+			func() (fl.Algorithm, error) { return core.New(variants[name]) })
+		if err != nil {
+			return fmt.Errorf("experiments: ablation %s: %w", name, err)
 		}
-		res.Cells = append(res.Cells, AblationCell{Variant: name, Acc: NewStat(finals)})
+		finals[i] = hist.Final().TestAcc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, name := range order {
+		res.Cells = append(res.Cells, AblationCell{Variant: name, Acc: NewStat(finals[vi*len(seeds) : (vi+1)*len(seeds)])})
 	}
 	return res, nil
 }

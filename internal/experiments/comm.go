@@ -92,17 +92,22 @@ func RunCommCurve(opts CommCurveOptions) (*CommCurveResult, error) {
 	res := &CommCurveResult{
 		Title: fmt.Sprintf("Comm-vs-accuracy — %s on %s/%s, net=%s",
 			opts.Algorithm, opts.Dataset, opts.Model, netName(opts.Network)),
+		Curves: make([]CommCurve, len(opts.Codecs)),
 	}
-	for _, codec := range opts.Codecs {
-		env, err := opts.Profile.BuildEnv(opts.Dataset, opts.Model, opts.Het, seed)
+	// One scheduled cell per codec: every run shares the single
+	// environment build (identical key) and the global worker budget.
+	s := newScheduler(opts.Profile)
+	err := s.Run(len(opts.Codecs), func(i int) error {
+		codec := opts.Codecs[i]
+		env, err := s.Env(opts.Profile, opts.Dataset, opts.Model, opts.Het, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		algo, err := NewAlgorithm(opts.Algorithm)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		cfg := opts.Profile.Config(seed)
+		cfg := s.Config(opts.Profile, seed)
 		cfg.Transport = fl.TransportOptions{
 			Codec:       codec,
 			Network:     opts.Network,
@@ -110,7 +115,7 @@ func RunCommCurve(opts CommCurveOptions) (*CommCurveResult, error) {
 		}
 		hist, err := fl.Run(algo, env, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: comm curve codec %s: %w", codec, err)
+			return fmt.Errorf("experiments: comm curve codec %s: %w", codec, err)
 		}
 		curve := CommCurve{
 			Codec:      codec,
@@ -126,7 +131,11 @@ func RunCommCurve(opts CommCurveOptions) (*CommCurveResult, error) {
 				Acc:   m.TestAcc,
 			})
 		}
-		res.Curves = append(res.Curves, curve)
+		res.Curves[i] = curve
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -44,53 +44,50 @@ func (c *CurveSet) Series() *Series {
 	return &Series{Title: c.Title, XLabel: "round", Xs: c.Rounds, Curves: c.Acc, Order: c.Order}
 }
 
-// runCurve executes one algorithm run and folds its metric history into
-// the curve set (averaging across seeds happens by calling with each seed
-// and merging via mergeCurves).
-func runCurve(mk func() (fl.Algorithm, error), env *fl.Env, cfg fl.Config) ([]int, []float64, error) {
-	algo, err := mk()
-	if err != nil {
-		return nil, nil, err
+// firstSeed returns the profile's first seed (1 when none are set) — the
+// seed the single-seed curve figures run under.
+func firstSeed(p Profile) int64 {
+	if len(p.Seeds) > 0 {
+		return p.Seeds[0]
 	}
-	hist, err := fl.Run(algo, env, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	rounds := make([]int, len(hist.Metrics))
-	accs := make([]float64, len(hist.Metrics))
-	for i, m := range hist.Metrics {
-		rounds[i] = m.Round
-		accs[i] = m.TestAcc
-	}
-	return rounds, accs, nil
+	return 1
 }
 
 // CompareAlgorithms runs the named algorithms on identical environments
 // and returns their learning curves — the engine behind Figures 5, 6 and
-// 7.
+// 7. The runs are grid cells: they execute concurrently under the
+// profile's Jobs / worker-budget arbitration and share one memoized
+// environment build.
 func CompareAlgorithms(p Profile, dataset, model string, het data.Heterogeneity, algoNames []string, title string) (*CurveSet, error) {
+	return compareAlgorithms(newScheduler(p), p, dataset, model, het, algoNames, title)
+}
+
+// compareAlgorithms is CompareAlgorithms on a caller-owned scheduler, so
+// multi-panel figures can pool every panel's runs into one grid.
+func compareAlgorithms(s *Scheduler, p Profile, dataset, model string, het data.Heterogeneity, algoNames []string, title string) (*CurveSet, error) {
 	if len(algoNames) == 0 {
 		algoNames = AlgorithmNames()
 	}
-	seed := int64(1)
-	if len(p.Seeds) > 0 {
-		seed = p.Seeds[0]
+	seed := firstSeed(p)
+	out := make([]curveData, len(algoNames))
+	err := s.Run(len(algoNames), func(i int) error {
+		name := algoNames[i]
+		hist, _, _, err := s.runOne(p, dataset, model, het, seed, func() (fl.Algorithm, error) { return NewAlgorithm(name) })
+		if err != nil {
+			return fmt.Errorf("experiments: curves %s: %w", name, err)
+		}
+		out[i] = curveOf(hist)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	cs := &CurveSet{Title: title, Acc: map[string][]float64{}, Order: algoNames}
-	for _, name := range algoNames {
-		name := name
-		env, err := p.BuildEnv(dataset, model, het, seed)
-		if err != nil {
-			return nil, err
-		}
-		rounds, accs, err := runCurve(func() (fl.Algorithm, error) { return NewAlgorithm(name) }, env, p.Config(seed))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: curves %s: %w", name, err)
-		}
+	for i, name := range algoNames {
 		if cs.Rounds == nil {
-			cs.Rounds = rounds
+			cs.Rounds = out[i].rounds
 		}
-		cs.Acc[name] = accs
+		cs.Acc[name] = out[i].accs
 	}
 	return cs, nil
 }

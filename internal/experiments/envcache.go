@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"sync"
+
+	"fedcross/internal/data"
+	"fedcross/internal/fl"
+)
+
+// envKey identifies one environment build. It captures everything
+// Profile.BuildEnv reads: the dataset/model/heterogeneity/seed cell
+// coordinates plus the profile's sizing fields — Fig-7-style sweeps
+// mutate NumClients and the sample counts between cells, and two profiles
+// that differ there must never share a build.
+type envKey struct {
+	dataset, model string
+	het            data.Heterogeneity
+	seed           int64
+	sizing         envSizing
+}
+
+// envSizing is the subset of Profile fields that shape an environment.
+type envSizing struct {
+	visionTrain, visionTest int
+	textPerClient, textTest int
+	numClients              int
+}
+
+func (p Profile) sizing() envSizing {
+	return envSizing{
+		visionTrain: p.VisionTrainPerClass, visionTest: p.VisionTestPerClass,
+		textPerClient: p.TextSamplesPerClient, textTest: p.TextTestSamples,
+		numClients: p.NumClients,
+	}
+}
+
+// EnvCache memoizes environment construction across the cells of an
+// experiment grid. The old runners called Profile.BuildEnv once per
+// (algorithm, seed) run — TableII rebuilt the identical dataset and
+// partition six times per cell, once per compared method. The cache
+// builds each distinct key exactly once (concurrent requesters block on
+// the build via a per-entry once) and hands every run its own lease.
+//
+// Lease/copy ownership rules (also in docs/ARCHITECTURE.md): the sample
+// storage (data.Dataset contents) is immutable by contract — training
+// copies batches out, never writes in — so leases share the built
+// datasets. What each lease owns privately is the *structure*: a fresh
+// fl.Env and data.Federated struct and a fresh Clients slice, so a cell
+// that re-slices or swaps shard pointers (FedGen substitutes augmented
+// shard copies per job, tests override entries) can never affect a
+// sibling cell. Anything mutating sample storage in place must Subset or
+// clone first; nothing in the tree does today.
+type EnvCache struct {
+	mu sync.Mutex
+	m  map[envKey]*envEntry
+}
+
+type envEntry struct {
+	once sync.Once
+	env  *fl.Env
+	err  error
+}
+
+// NewEnvCache returns an empty cache. Runners create one per grid
+// invocation, and the cache holds every build it has made until the grid
+// finishes — there is no per-key eviction, so a grid's peak memory is the
+// sum of its distinct environments rather than one env at a time. That
+// trade is deliberate: the synthetic corpora are megabytes each (the
+// paper profile's largest is ~1 MB of samples), a full TableII grid has
+// tens of keys, and releasing a key early would need lease refcounting
+// for a saving that profiling doesn't justify. Revisit if environments
+// ever grow to real-dataset scale.
+func NewEnvCache() *EnvCache { return &EnvCache{m: map[envKey]*envEntry{}} }
+
+// Lease returns an environment for the cell coordinates, building it on
+// first use and sharing the build afterwards. Every call returns a
+// distinct copy-on-lease view (see the ownership rules above); the build
+// itself is bit-identical to a direct Profile.BuildEnv call, so memoized
+// grids reproduce the unmemoized results exactly.
+func (c *EnvCache) Lease(p Profile, dataset, model string, het data.Heterogeneity, seed int64) (*fl.Env, error) {
+	key := envKey{dataset: dataset, model: model, het: het, seed: seed, sizing: p.sizing()}
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &envEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.env, e.err = p.BuildEnv(dataset, model, het, seed) })
+	if e.err != nil {
+		return nil, e.err
+	}
+	return leaseCopy(e.env), nil
+}
+
+// leaseCopy clones the environment structure (Env, Federated, the
+// Clients slice) while sharing the immutable datasets underneath.
+func leaseCopy(e *fl.Env) *fl.Env {
+	fed := *e.Fed
+	fed.Clients = append([]*data.Dataset(nil), e.Fed.Clients...)
+	return &fl.Env{Fed: &fed, Model: e.Model}
+}

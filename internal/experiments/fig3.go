@@ -41,13 +41,17 @@ type Fig3Result struct {
 }
 
 // RunFig3 partitions the vision corpus under each β and collects the
-// class × client matrices. Expected shape: smaller β ⇒ larger SkewScore.
+// class × client matrices; the β panels are independent scheduler cells
+// (generation + partitioning only — no training, so no environment
+// cache). Expected shape: smaller β ⇒ larger SkewScore.
 func RunFig3(opts Fig3Options) (*Fig3Result, error) {
 	if len(opts.Betas) == 0 {
 		return nil, fmt.Errorf("experiments: Fig3 needs at least one beta")
 	}
-	res := &Fig3Result{}
-	for _, beta := range opts.Betas {
+	res := &Fig3Result{Panels: make([]Fig3Panel, len(opts.Betas))}
+	s := newScheduler(opts.Profile)
+	err := s.Run(len(opts.Betas), func(i int) error {
+		beta := opts.Betas[i]
 		cfg := data.VisionConfig{
 			Classes: 10, Features: models.VisionFeatures,
 			TrainPerClass: opts.Profile.VisionTrainPerClass, TestPerClass: 1,
@@ -63,7 +67,11 @@ func RunFig3(opts Fig3Options) (*Fig3Result, error) {
 		for c := range full {
 			counts[c] = full[c][:show]
 		}
-		res.Panels = append(res.Panels, Fig3Panel{Beta: beta, Counts: counts, SkewScore: skewScore(fed)})
+		res.Panels[i] = Fig3Panel{Beta: beta, Counts: counts, SkewScore: skewScore(fed)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

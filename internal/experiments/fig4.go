@@ -55,47 +55,53 @@ type Fig4Result struct {
 }
 
 // RunFig4 trains FedAvg and FedCross under each setting, then scans the
-// loss landscape around both global models and computes sharpness.
+// loss landscape around both global models and computes sharpness. Every
+// (heterogeneity, algorithm) pair is an independent scheduler cell — the
+// two methods of a panel train concurrently on one shared environment
+// build, and the landscape probes draw their evaluation workers from the
+// same budget as the training fan-outs.
 func RunFig4(opts Fig4Options) (*Fig4Result, error) {
 	if len(opts.Hets) == 0 {
 		return nil, fmt.Errorf("experiments: Fig4 needs at least one heterogeneity setting")
 	}
-	seed := int64(1)
-	if len(opts.Profile.Seeds) > 0 {
-		seed = opts.Profile.Seeds[0]
-	}
-	res := &Fig4Result{}
-	for _, het := range opts.Hets {
-		panel := Fig4Panel{Het: het.String()}
-		for _, which := range []string{"fedavg", "fedcross"} {
-			env, err := opts.Profile.BuildEnv("vision10", opts.Model, het, seed)
-			if err != nil {
-				return nil, err
-			}
-			algo, err := NewAlgorithm(which)
-			if err != nil {
-				return nil, err
-			}
-			hist, err := fl.Run(algo, env, opts.Profile.Config(seed))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: Fig4 %s %s: %w", which, het, err)
-			}
-			vec := algo.Global()
-			grid, err := landscape.Scan2D(env.Model, vec, env.Fed.Test, opts.Scan)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: Fig4 scan %s: %w", which, err)
-			}
-			sharp, err := landscape.Sharpness(env.Model, vec, env.Fed.Test, opts.SharpnessRadius, opts.SharpnessDirs, opts.Scan.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: Fig4 sharpness %s: %w", which, err)
-			}
-			if which == "fedavg" {
-				panel.FedAvgGrid, panel.FedAvgSharpness, panel.FedAvgAcc = grid, sharp, hist.Final().TestAcc
-			} else {
-				panel.FedCrossGrid, panel.FedCrossSharpness, panel.FedCrossAcc = grid, sharp, hist.Final().TestAcc
-			}
+	seed := firstSeed(opts.Profile)
+	algos := []string{"fedavg", "fedcross"}
+	res := &Fig4Result{Panels: make([]Fig4Panel, len(opts.Hets))}
+	s := newScheduler(opts.Profile)
+	err := s.Run(len(opts.Hets)*len(algos), func(i int) error {
+		het := opts.Hets[i/len(algos)]
+		which := algos[i%len(algos)]
+		hist, env, algo, err := s.runOne(opts.Profile, "vision10", opts.Model, het, seed,
+			func() (fl.Algorithm, error) { return NewAlgorithm(which) })
+		if err != nil {
+			return fmt.Errorf("experiments: Fig4 %s %s: %w", which, het, err)
 		}
-		res.Panels = append(res.Panels, panel)
+		vec := algo.Global()
+		scan := opts.Scan
+		scan.Workers = s.Config(opts.Profile, seed).Allowance()
+		grid, err := landscape.Scan2D(env.Model, vec, env.Fed.Test, scan)
+		if err != nil {
+			return fmt.Errorf("experiments: Fig4 scan %s: %w", which, err)
+		}
+		sharp, err := landscape.Sharpness(env.Model, vec, env.Fed.Test, opts.SharpnessRadius, opts.SharpnessDirs, scan.Seed, scan.Workers)
+		if err != nil {
+			return fmt.Errorf("experiments: Fig4 sharpness %s: %w", which, err)
+		}
+		// Cells of one panel write disjoint fields; Het is filled during
+		// the serial assembly below so sibling cells never write one word.
+		panel := &res.Panels[i/len(algos)]
+		if which == "fedavg" {
+			panel.FedAvgGrid, panel.FedAvgSharpness, panel.FedAvgAcc = grid, sharp, hist.Final().TestAcc
+		} else {
+			panel.FedCrossGrid, panel.FedCrossSharpness, panel.FedCrossAcc = grid, sharp, hist.Final().TestAcc
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, het := range opts.Hets {
+		res.Panels[i].Het = het.String()
 	}
 	return res, nil
 }

@@ -35,18 +35,53 @@ type Fig5Result struct {
 	Panels []*CurveSet
 }
 
-// RunFig5 produces the learning-curve panels.
+// RunFig5 produces the learning-curve panels. All panels' runs pool into
+// one scheduled grid: every (model, het, algorithm) run is an independent
+// cell, and the six methods of a panel share one environment build.
 func RunFig5(opts Fig5Options) (*Fig5Result, error) {
-	res := &Fig5Result{}
+	type panelSpec struct {
+		model string
+		het   data.Heterogeneity
+	}
+	var panels []panelSpec
 	for _, model := range opts.Models {
 		for _, het := range opts.Hets {
-			title := fmt.Sprintf("Figure 5 — %s on vision10, %s", model, het)
-			cs, err := CompareAlgorithms(opts.Profile, "vision10", model, het, nil, title)
-			if err != nil {
-				return nil, err
-			}
-			res.Panels = append(res.Panels, cs)
+			panels = append(panels, panelSpec{model: model, het: het})
 		}
+	}
+	algos := AlgorithmNames()
+	seed := firstSeed(opts.Profile)
+	curves := make([]curveData, len(panels)*len(algos))
+	s := newScheduler(opts.Profile)
+	err := s.Run(len(curves), func(i int) error {
+		p := panels[i/len(algos)]
+		name := algos[i%len(algos)]
+		hist, _, _, err := s.runOne(opts.Profile, "vision10", p.model, p.het, seed,
+			func() (fl.Algorithm, error) { return NewAlgorithm(name) })
+		if err != nil {
+			return fmt.Errorf("experiments: Fig5 %s on %s: %w", name, p.model, err)
+		}
+		curves[i] = curveOf(hist)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{}
+	for pi, p := range panels {
+		cs := &CurveSet{
+			Title: fmt.Sprintf("Figure 5 — %s on vision10, %s", p.model, p.het),
+			Acc:   map[string][]float64{},
+			Order: algos,
+		}
+		for ai, name := range algos {
+			c := curves[pi*len(algos)+ai]
+			if cs.Rounds == nil {
+				cs.Rounds = c.rounds
+			}
+			cs.Acc[name] = c.accs
+		}
+		res.Panels = append(res.Panels, cs)
 	}
 	return res, nil
 }
@@ -99,23 +134,42 @@ type Fig6Result struct {
 	Cells []Fig6Cell
 }
 
-// RunFig6 sweeps K. Expected shape: accuracy grows with K up to ~20 then
+// RunFig6 sweeps K as one scheduled (K, algorithm) grid; K only changes
+// the round configuration, so every run in the sweep shares a single
+// environment build. Expected shape: accuracy grows with K up to ~20 then
 // saturates; FedCross leads at every K.
 func RunFig6(opts Fig6Options) (*Fig6Result, error) {
 	if len(opts.Ks) == 0 {
 		return nil, fmt.Errorf("experiments: Fig6 needs at least one K")
 	}
-	res := &Fig6Result{}
-	for _, k := range opts.Ks {
+	if len(opts.Algorithms) == 0 {
+		opts.Algorithms = AlgorithmNames()
+	}
+	het := data.Heterogeneity{Beta: opts.Beta}
+	seed := firstSeed(opts.Profile)
+	bests := make([]float64, len(opts.Ks)*len(opts.Algorithms))
+	s := newScheduler(opts.Profile)
+	err := s.Run(len(bests), func(i int) error {
+		k := opts.Ks[i/len(opts.Algorithms)]
+		name := opts.Algorithms[i%len(opts.Algorithms)]
 		p := opts.Profile
 		p.ClientsPerRound = k
-		cs, err := CompareAlgorithms(p, "vision10", opts.Model, data.Heterogeneity{Beta: opts.Beta}, opts.Algorithms, "")
+		hist, _, _, err := s.runOne(p, "vision10", opts.Model, het, seed,
+			func() (fl.Algorithm, error) { return NewAlgorithm(name) })
 		if err != nil {
-			return nil, fmt.Errorf("experiments: Fig6 K=%d: %w", k, err)
+			return fmt.Errorf("experiments: Fig6 K=%d %s: %w", k, name, err)
 		}
+		bests[i] = hist.BestAcc()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{}
+	for ki, k := range opts.Ks {
 		cell := Fig6Cell{K: k, Best: map[string]float64{}}
-		for _, name := range opts.Algorithms {
-			cell.Best[name] = cs.Best(name)
+		for ai, name := range opts.Algorithms {
+			cell.Best[name] = bests[ki*len(opts.Algorithms)+ai]
 		}
 		res.Cells = append(res.Cells, cell)
 	}
@@ -189,38 +243,49 @@ type Fig7Result struct {
 }
 
 // RunFig7 sweeps N with 10% participation and a fixed total sample
-// budget. Expected shape: larger N needs more rounds to converge.
+// budget, as one scheduled (N, algorithm) grid — the compared methods of
+// one N share that N's environment build. Expected shape: larger N needs
+// more rounds to converge.
 func RunFig7(opts Fig7Options) (*Fig7Result, error) {
 	if len(opts.Ns) == 0 {
 		return nil, fmt.Errorf("experiments: Fig7 needs at least one N")
 	}
-	res := &Fig7Result{}
-	for _, n := range opts.Ns {
+	if len(opts.Algorithms) == 0 {
+		opts.Algorithms = AlgorithmNames()
+	}
+	het := data.Heterogeneity{Beta: opts.Beta}
+	seed := firstSeed(opts.Profile)
+	type outcome struct {
+		best       float64
+		roundsTo40 int
+	}
+	outcomes := make([]outcome, len(opts.Ns)*len(opts.Algorithms))
+	s := newScheduler(opts.Profile)
+	err := s.Run(len(outcomes), func(i int) error {
+		n := opts.Ns[i/len(opts.Algorithms)]
+		name := opts.Algorithms[i%len(opts.Algorithms)]
 		p := opts.Profile
 		p.NumClients = n
 		p.ClientsPerRound = maxInt(2, n/10)
 		p.VisionTrainPerClass = maxInt(2, opts.TotalSamples/10)
-		seed := int64(1)
-		if len(p.Seeds) > 0 {
-			seed = p.Seeds[0]
+		hist, _, _, err := s.runOne(p, "vision10", opts.Model, het, seed,
+			func() (fl.Algorithm, error) { return NewAlgorithm(name) })
+		if err != nil {
+			return fmt.Errorf("experiments: Fig7 N=%d %s: %w", n, name, err)
 		}
+		outcomes[i] = outcome{best: hist.BestAcc(), roundsTo40: hist.RoundsToAcc(0.4)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{}
+	for ni, n := range opts.Ns {
 		cell := Fig7Cell{N: n, Best: map[string]float64{}, RoundsTo40: map[string]int{}}
-		for _, name := range opts.Algorithms {
-			name := name
-			env, err := p.BuildEnv("vision10", opts.Model, data.Heterogeneity{Beta: opts.Beta}, seed)
-			if err != nil {
-				return nil, err
-			}
-			algo, err := NewAlgorithm(name)
-			if err != nil {
-				return nil, err
-			}
-			hist, err := fl.Run(algo, env, p.Config(seed))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: Fig7 N=%d %s: %w", n, name, err)
-			}
-			cell.Best[name] = hist.BestAcc()
-			cell.RoundsTo40[name] = hist.RoundsToAcc(0.4)
+		for ai, name := range opts.Algorithms {
+			o := outcomes[ni*len(opts.Algorithms)+ai]
+			cell.Best[name] = o.best
+			cell.RoundsTo40[name] = o.roundsTo40
 		}
 		res.Cells = append(res.Cells, cell)
 	}
@@ -284,52 +349,54 @@ type Fig8Result struct {
 	Panels []*CurveSet
 }
 
-// RunFig8 produces the α-sweep learning curves.
+// RunFig8 produces the α-sweep learning curves as one scheduled grid:
+// every (strategy, variant) pair — the FedAvg reference plus each α — is
+// an independent cell, and all of them share a single environment build.
 func RunFig8(opts Fig8Options) (*Fig8Result, error) {
 	if len(opts.Alphas) == 0 || len(opts.Strategies) == 0 {
 		return nil, fmt.Errorf("experiments: Fig8 needs alphas and strategies")
 	}
-	seed := int64(1)
-	if len(opts.Profile.Seeds) > 0 {
-		seed = opts.Profile.Seeds[0]
-	}
+	seed := firstSeed(opts.Profile)
 	het := data.Heterogeneity{Beta: opts.Beta}
-	res := &Fig8Result{}
-	for _, strat := range opts.Strategies {
-		cs := &CurveSet{
-			Title: fmt.Sprintf("Figure 8 — alpha sweep, %s strategy", strat),
-			Acc:   map[string][]float64{},
-		}
-		// FedAvg reference curve.
-		env, err := opts.Profile.BuildEnv("vision10", opts.Model, het, seed)
-		if err != nil {
-			return nil, err
-		}
-		rounds, accs, err := runCurve(func() (fl.Algorithm, error) { return NewAlgorithm("fedavg") }, env, opts.Profile.Config(seed))
-		if err != nil {
-			return nil, err
-		}
-		cs.Rounds = rounds
-		cs.Acc["fedavg"] = accs
-		cs.Order = []string{"fedavg"}
-
-		for _, alpha := range opts.Alphas {
-			alpha, strat := alpha, strat
-			env, err := opts.Profile.BuildEnv("vision10", opts.Model, het, seed)
-			if err != nil {
-				return nil, err
-			}
-			_, accs, err := runCurve(func() (fl.Algorithm, error) {
+	variants := 1 + len(opts.Alphas) // fedavg reference first, then alphas
+	curves := make([]curveData, len(opts.Strategies)*variants)
+	s := newScheduler(opts.Profile)
+	err := s.Run(len(curves), func(i int) error {
+		strat := opts.Strategies[i/variants]
+		vi := i % variants
+		mk := func() (fl.Algorithm, error) { return NewAlgorithm("fedavg") }
+		if vi > 0 {
+			alpha := opts.Alphas[vi-1]
+			mk = func() (fl.Algorithm, error) {
 				o := core.DefaultOptions()
 				o.Alpha = alpha
 				o.Strategy = strat
 				return core.New(o)
-			}, env, opts.Profile.Config(seed))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: Fig8 alpha=%v: %w", alpha, err)
 			}
+		}
+		hist, _, _, err := s.runOne(opts.Profile, "vision10", opts.Model, het, seed, mk)
+		if err != nil {
+			return fmt.Errorf("experiments: Fig8 %s variant %d: %w", strat, vi, err)
+		}
+		curves[i] = curveOf(hist)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{}
+	for si, strat := range opts.Strategies {
+		cs := &CurveSet{
+			Title: fmt.Sprintf("Figure 8 — alpha sweep, %s strategy", strat),
+			Acc:   map[string][]float64{},
+			Order: []string{"fedavg"},
+		}
+		base := si * variants
+		cs.Rounds = curves[base].rounds
+		cs.Acc["fedavg"] = curves[base].accs
+		for ai, alpha := range opts.Alphas {
 			name := fmt.Sprintf("alpha=%.3g", alpha)
-			cs.Acc[name] = accs
+			cs.Acc[name] = curves[base+1+ai].accs
 			cs.Order = append(cs.Order, name)
 		}
 		res.Panels = append(res.Panels, cs)
@@ -380,42 +447,48 @@ type Fig9Result struct {
 	Panels []*CurveSet
 }
 
-// RunFig9 compares the acceleration variants.
+// RunFig9 compares the acceleration variants as one scheduled
+// (heterogeneity, variant) grid; the four variants of a panel share one
+// environment build.
 func RunFig9(opts Fig9Options) (*Fig9Result, error) {
 	if len(opts.Hets) == 0 {
 		return nil, fmt.Errorf("experiments: Fig9 needs at least one heterogeneity setting")
 	}
-	seed := int64(1)
-	if len(opts.Profile.Seeds) > 0 {
-		seed = opts.Profile.Seeds[0]
-	}
+	seed := firstSeed(opts.Profile)
 	variants := []core.AccelMode{core.AccelNone, core.AccelPropeller, core.AccelDynamicAlpha, core.AccelBoth}
+	curves := make([]curveData, len(opts.Hets)*len(variants))
+	s := newScheduler(opts.Profile)
+	err := s.Run(len(curves), func(i int) error {
+		het := opts.Hets[i/len(variants)]
+		mode := variants[i%len(variants)]
+		hist, _, _, err := s.runOne(opts.Profile, "vision10", opts.Model, het, seed, func() (fl.Algorithm, error) {
+			o := core.DefaultOptions()
+			o.Accel = mode
+			o.AccelRounds = opts.AccelRounds
+			o.PropellerCount = opts.PropellerCount
+			return core.New(o)
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: Fig9 %v: %w", mode, err)
+		}
+		curves[i] = curveOf(hist)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig9Result{}
-	for _, het := range opts.Hets {
+	for hi, het := range opts.Hets {
 		cs := &CurveSet{
 			Title: fmt.Sprintf("Figure 9 — acceleration methods, %s on vision10, %s", opts.Model, het),
 			Acc:   map[string][]float64{},
 		}
-		for _, mode := range variants {
-			mode := mode
-			env, err := opts.Profile.BuildEnv("vision10", opts.Model, het, seed)
-			if err != nil {
-				return nil, err
-			}
-			rounds, accs, err := runCurve(func() (fl.Algorithm, error) {
-				o := core.DefaultOptions()
-				o.Accel = mode
-				o.AccelRounds = opts.AccelRounds
-				o.PropellerCount = opts.PropellerCount
-				return core.New(o)
-			}, env, opts.Profile.Config(seed))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: Fig9 %v: %w", mode, err)
-			}
+		for vi, mode := range variants {
+			c := curves[hi*len(variants)+vi]
 			if cs.Rounds == nil {
-				cs.Rounds = rounds
+				cs.Rounds = c.rounds
 			}
-			cs.Acc[mode.String()] = accs
+			cs.Acc[mode.String()] = c.accs
 			cs.Order = append(cs.Order, mode.String())
 		}
 		res.Panels = append(res.Panels, cs)

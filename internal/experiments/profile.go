@@ -41,6 +41,13 @@ type Profile struct {
 	// (fl.Config.Parallelism): 0 uses every core, 1 forces serial
 	// execution. Results are identical either way.
 	Parallelism int
+	// Jobs caps how many grid cells (independent algorithm runs) an
+	// experiment harness executes concurrently: 0 uses every core, 1
+	// forces strictly sequential cells. Cells arbitrate their inner
+	// Parallelism against one shared worker budget, so any Jobs ×
+	// Parallelism combination is safe — and results are bit-identical at
+	// every setting (see Scheduler).
+	Jobs int
 	// Codec, Network and DeadlineSec configure the simulated wire every
 	// run's payloads travel over (fl.Config.Transport). Zero values mean
 	// the pass-through reference wire.

@@ -55,15 +55,30 @@ type TableIIResult struct {
 }
 
 // RunTableII executes the selected slice of the accuracy-comparison grid.
+// The full grid is expanded into independent (cell, algorithm, seed) runs
+// and dispatched through the experiment scheduler: runs execute
+// concurrently under Profile.Jobs with their training fan-outs arbitrated
+// against one worker budget, and each distinct (dataset, model, het,
+// seed) environment is built once and shared across the algorithms
+// instead of once per run — the hoist that, at Jobs=1, also makes
+// strictly serial grids stop rebuilding identical environments.
 func RunTableII(opts TableIIOptions) (*TableIIResult, error) {
 	algos := opts.Algorithms
 	if len(algos) == 0 {
 		algos = AlgorithmNames()
 	}
-	if len(opts.Profile.Seeds) == 0 {
+	seeds := opts.Profile.Seeds
+	if len(seeds) == 0 {
 		return nil, fmt.Errorf("experiments: TableII needs at least one seed")
 	}
-	res := &TableIIResult{}
+
+	// Expand the grid in rendering order: cells, then algorithms, then
+	// seeds — the run list's order is the assembly order below.
+	type cellSpec struct {
+		model, dataset string
+		het            data.Heterogeneity
+	}
+	var cells []cellSpec
 	for _, dataset := range opts.Datasets {
 		hets := opts.Hets
 		modelsToRun := opts.Models
@@ -76,30 +91,39 @@ func RunTableII(opts TableIIOptions) (*TableIIResult, error) {
 		}
 		for _, model := range modelsToRun {
 			for _, het := range hets {
-				cell := TableIICell{Model: model, Dataset: dataset, Het: hetLabel(dataset, het), Acc: map[string]Stat{}}
-				for _, algoName := range algos {
-					var finals []float64
-					for _, seed := range opts.Profile.Seeds {
-						env, err := opts.Profile.BuildEnv(dataset, vmodel(dataset, model), het, seed)
-						if err != nil {
-							return nil, fmt.Errorf("experiments: TableII %s/%s: %w", dataset, model, err)
-						}
-						algo, err := NewAlgorithm(algoName)
-						if err != nil {
-							return nil, err
-						}
-						hist, err := fl.Run(algo, env, opts.Profile.Config(seed))
-						if err != nil {
-							return nil, fmt.Errorf("experiments: TableII %s on %s: %w", algoName, dataset, err)
-						}
-						finals = append(finals, hist.Final().TestAcc)
-					}
-					cell.Acc[algoName] = NewStat(finals)
-				}
-				cell.Winner = bestAlgo(cell.Acc)
-				res.Cells = append(res.Cells, cell)
+				cells = append(cells, cellSpec{model: model, dataset: dataset, het: het})
 			}
 		}
+	}
+
+	runsPerCell := len(algos) * len(seeds)
+	finals := make([]float64, len(cells)*runsPerCell)
+	s := newScheduler(opts.Profile)
+	err := s.Run(len(finals), func(i int) error {
+		c := cells[i/runsPerCell]
+		algoName := algos[i%runsPerCell/len(seeds)]
+		seed := seeds[i%len(seeds)]
+		hist, _, _, err := s.runOne(opts.Profile, c.dataset, vmodel(c.dataset, c.model), c.het,
+			seed, func() (fl.Algorithm, error) { return NewAlgorithm(algoName) })
+		if err != nil {
+			return fmt.Errorf("experiments: TableII %s on %s/%s: %w", algoName, c.dataset, c.model, err)
+		}
+		finals[i] = hist.Final().TestAcc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TableIIResult{}
+	for ci, c := range cells {
+		cell := TableIICell{Model: c.model, Dataset: c.dataset, Het: hetLabel(c.dataset, c.het), Acc: map[string]Stat{}}
+		for ai, algoName := range algos {
+			at := ci*runsPerCell + ai*len(seeds)
+			cell.Acc[algoName] = NewStat(finals[at : at+len(seeds)])
+		}
+		cell.Winner = bestAlgo(cell.Acc)
+		res.Cells = append(res.Cells, cell)
 	}
 	return res, nil
 }

@@ -65,37 +65,48 @@ func (r *TableIIIResult) Get(alpha float64, s core.Strategy) (Stat, bool) {
 	return Stat{}, false
 }
 
-// RunTableIII executes the ablation. Note α = 0.999 falls inside the
-// paper's admissible interval [0.5, 1) and is expected to collapse — that
-// is the point of the ablation.
+// RunTableIII executes the ablation as one scheduled grid of
+// (alpha, strategy, seed) runs; every run shares the per-seed environment
+// build. Note α = 0.999 falls inside the paper's admissible interval
+// [0.5, 1) and is expected to collapse — that is the point of the
+// ablation.
 func RunTableIII(opts TableIIIOptions) (*TableIIIResult, error) {
 	if len(opts.Alphas) == 0 || len(opts.Strategies) == 0 {
 		return nil, fmt.Errorf("experiments: TableIII needs at least one alpha and one strategy")
 	}
-	res := &TableIIIResult{}
 	het := data.Heterogeneity{Beta: opts.Beta}
-	for _, alpha := range opts.Alphas {
-		for _, strat := range opts.Strategies {
-			var finals []float64
-			for _, seed := range opts.Profile.Seeds {
-				env, err := opts.Profile.BuildEnv("vision10", opts.Model, het, seed)
-				if err != nil {
-					return nil, err
-				}
-				fcOpts := core.DefaultOptions()
-				fcOpts.Alpha = alpha
-				fcOpts.Strategy = strat
-				algo, err := core.New(fcOpts)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: TableIII alpha=%v: %w", alpha, err)
-				}
-				hist, err := fl.Run(algo, env, opts.Profile.Config(seed))
-				if err != nil {
-					return nil, fmt.Errorf("experiments: TableIII alpha=%v %v: %w", alpha, strat, err)
-				}
-				finals = append(finals, hist.Final().TestAcc)
-			}
-			res.Cells = append(res.Cells, TableIIICell{Alpha: alpha, Strategy: strat, Acc: NewStat(finals)})
+	seeds := opts.Profile.Seeds
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: TableIII needs at least one seed")
+	}
+	perCell := len(seeds)
+	perAlpha := len(opts.Strategies) * perCell
+	finals := make([]float64, len(opts.Alphas)*perAlpha)
+	s := newScheduler(opts.Profile)
+	err := s.Run(len(finals), func(i int) error {
+		alpha := opts.Alphas[i/perAlpha]
+		strat := opts.Strategies[i%perAlpha/perCell]
+		seed := seeds[i%perCell]
+		hist, _, _, err := s.runOne(opts.Profile, "vision10", opts.Model, het, seed, func() (fl.Algorithm, error) {
+			fcOpts := core.DefaultOptions()
+			fcOpts.Alpha = alpha
+			fcOpts.Strategy = strat
+			return core.New(fcOpts)
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: TableIII alpha=%v %v: %w", alpha, strat, err)
+		}
+		finals[i] = hist.Final().TestAcc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIIIResult{}
+	for ai, alpha := range opts.Alphas {
+		for si, strat := range opts.Strategies {
+			at := ai*perAlpha + si*perCell
+			res.Cells = append(res.Cells, TableIIICell{Alpha: alpha, Strategy: strat, Acc: NewStat(finals[at : at+perCell])})
 		}
 	}
 	return res, nil

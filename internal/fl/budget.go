@@ -1,0 +1,123 @@
+package fl
+
+import "runtime"
+
+// WorkerBudget is a token pool bounding the total number of live worker
+// goroutines across every simulation that shares it — the arbitration
+// layer between the experiment scheduler (which runs many grid cells
+// concurrently) and each cell's inner training/evaluation fan-out.
+//
+// The protocol has two tiers:
+//
+//   - Base token (Acquire/Release, blocking): held for the whole lifetime
+//     of a unit of work that is entitled to make progress — the scheduler
+//     acquires one per running grid cell. The base token covers the one
+//     inline worker every parallel section is always allowed, which is
+//     what makes the scheme deadlock-free: no section ever blocks waiting
+//     for fan-out tokens.
+//   - Fan-out tokens (TryAcquire/ReleaseN, non-blocking): a parallel
+//     section holding a base token asks for up to target−1 extra workers
+//     and gets whatever is free right now. Busy machine ⇒ the section
+//     runs serially; idle machine ⇒ it fans out to its cap.
+//
+// Invariant: live workers = Σ over sections (1 base + extras) ≤ Cap.
+// Tokens never influence results — only how many goroutines compute them
+// (see the determinism contract on LocalJob).
+//
+// A nil *WorkerBudget is valid everywhere and means "unbudgeted": Acquire
+// and Release are no-ops and TryAcquire grants every request, which is
+// exactly the pre-scheduler behaviour of a standalone run.
+type WorkerBudget struct {
+	tokens chan struct{}
+}
+
+// NewWorkerBudget returns a budget of n tokens (n <= 0 means
+// runtime.NumCPU(), the natural hardware bound).
+func NewWorkerBudget(n int) *WorkerBudget {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	b := &WorkerBudget{tokens: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		b.tokens <- struct{}{}
+	}
+	return b
+}
+
+// Cap returns the budget's token count (0 for the nil unbudgeted budget).
+func (b *WorkerBudget) Cap() int {
+	if b == nil {
+		return 0
+	}
+	return cap(b.tokens)
+}
+
+// Acquire blocks until one base token is available. No-op on nil.
+func (b *WorkerBudget) Acquire() {
+	if b != nil {
+		<-b.tokens
+	}
+}
+
+// Release returns one base token. No-op on nil.
+func (b *WorkerBudget) Release() {
+	if b != nil {
+		b.tokens <- struct{}{}
+	}
+}
+
+// TryAcquire grabs up to k fan-out tokens without blocking and returns
+// how many it got. A nil budget grants the full request.
+func (b *WorkerBudget) TryAcquire(k int) int {
+	if b == nil {
+		return k
+	}
+	got := 0
+	for got < k {
+		select {
+		case <-b.tokens:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// ReleaseN returns k fan-out tokens. No-op on nil.
+func (b *WorkerBudget) ReleaseN(k int) {
+	if b == nil {
+		return
+	}
+	for i := 0; i < k; i++ {
+		b.tokens <- struct{}{}
+	}
+}
+
+// Workers is a worker allowance for one parallel section: at most Max
+// goroutines (0 means runtime.NumCPU(), matching Config.Parallelism's
+// convention), leased from Budget when it is non-nil. The zero value is
+// "every core, unbudgeted" — the historical behaviour of passing 0 for a
+// workers count.
+type Workers struct {
+	Max    int
+	Budget *WorkerBudget
+}
+
+// Limit returns an unbudgeted allowance of at most n workers — the
+// adapter for the pre-budget `workers int` call sites.
+func Limit(n int) Workers { return Workers{Max: n} }
+
+// lease resolves the allowance for a section of n iterations: the worker
+// count to run with, and how many fan-out tokens were taken (the caller
+// must hand them back via w.Budget.ReleaseN once the section ends). The
+// first worker is always granted — it is covered by the caller's base
+// token when a budget is in play.
+func (w Workers) lease(n int) (workers, leased int) {
+	workers = effectiveWorkers(n, w.Max)
+	if workers <= 1 || w.Budget == nil {
+		return workers, 0
+	}
+	leased = w.Budget.TryAcquire(workers - 1)
+	return 1 + leased, leased
+}

@@ -51,6 +51,14 @@ type Config struct {
 	// identity codec, ideal network, no deadline — bit-identical histories
 	// to the accounting-only engine.
 	Transport TransportOptions
+	// Budget, when non-nil, is the shared worker-token pool this run's
+	// training and evaluation fan-outs lease goroutines from — set by the
+	// experiment scheduler so concurrently running grid cells never
+	// oversubscribe the machine. nil (the default) leaves the run
+	// unbudgeted: Parallelism alone caps the fan-out, exactly the
+	// standalone behaviour. The budget never affects results, only how
+	// many goroutines compute them.
+	Budget *WorkerBudget
 }
 
 // DefaultConfig returns the paper-mirroring configuration at test scale.
@@ -97,6 +105,13 @@ func (c Config) Workers() int {
 		return c.Parallelism
 	}
 	return runtime.NumCPU()
+}
+
+// Allowance returns the worker allowance a round's parallel sections draw
+// from: Parallelism as the cap, leased from the shared Budget when the
+// run executes under the experiment scheduler.
+func (c Config) Allowance() Workers {
+	return Workers{Max: c.Parallelism, Budget: c.Budget}
 }
 
 // Env bundles the federated dataset with the model architecture under

@@ -35,8 +35,8 @@ func TestTrainLocalImproves(t *testing.T) {
 	if res.Steps == 0 || res.Samples != shard.Len() {
 		t.Fatalf("result %+v", res)
 	}
-	accBefore, _, _ := Evaluate(env.Model, init, shard, 32, 0)
-	accAfter, _, _ := Evaluate(env.Model, res.Params, shard, 32, 0)
+	accBefore, _, _ := Evaluate(env.Model, init, shard, 32, Limit(0))
+	accAfter, _, _ := Evaluate(env.Model, res.Params, shard, 32, Limit(0))
 	if accAfter <= accBefore {
 		t.Fatalf("local training should improve local accuracy: %v -> %v", accBefore, accAfter)
 	}
@@ -113,11 +113,11 @@ func TestTrainLocalErrors(t *testing.T) {
 func TestEvaluateBatchIndependence(t *testing.T) {
 	env := testEnv(11, 2)
 	vec := nn.FlattenParams(env.Model.New(tensor.NewRNG(1)).Params())
-	a1, l1, err := Evaluate(env.Model, vec, env.Fed.Test, 7, 0)
+	a1, l1, err := Evaluate(env.Model, vec, env.Fed.Test, 7, Limit(0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, l2, err := Evaluate(env.Model, vec, env.Fed.Test, 64, 0)
+	a2, l2, err := Evaluate(env.Model, vec, env.Fed.Test, 64, Limit(0))
 	if err != nil {
 		t.Fatal(err)
 	}

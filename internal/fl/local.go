@@ -149,20 +149,22 @@ func applyHooks(params, grads []*tensor.Tensor, spec LocalSpec) {
 }
 
 // Evaluate computes test accuracy and mean loss of the parameter vector on
-// ds, batching for memory locality. Batches are evaluated across at most
-// workers goroutines (0 means every core, matching Config.Parallelism's
-// convention); the per-batch partial sums are reduced in batch order, so
-// the result is bit-identical at every worker count.
-func Evaluate(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, batchSize, workers int) (acc, loss float64, err error) {
-	return evaluate(factory, vec, ds, batchSize, workers)
+// ds, batching for memory locality. Batches are evaluated across the
+// allowance w (Workers{} means every core, unbudgeted — matching the old
+// workers=0 convention; Limit(n) caps the fan-out; a Budget leases the
+// fan-out from a shared pool); the per-batch partial sums are reduced in
+// batch order, so the result is bit-identical at every worker count.
+func Evaluate(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, batchSize int, w Workers) (acc, loss float64, err error) {
+	return evaluate(factory, vec, ds, batchSize, w)
 }
 
-// evaluate is Evaluate with an explicit worker budget (0 means all cores,
-// 1 means serial — used by EvaluatePerClient, which parallelises one
-// level up, over clients). Forward passes mutate layer activations, so
-// each worker leases its own replica from the architecture pool, loaded
-// with vec once and reused for every batch that worker claims.
-func evaluate(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, batchSize, workers int) (acc, loss float64, err error) {
+// evaluate is Evaluate's engine. Forward passes mutate layer activations,
+// so each worker leases its own replica from the architecture pool,
+// loaded with vec once and reused for every batch that worker claims. The
+// replica count must match the dispatch fan-out exactly, so the worker
+// allowance (including any budget lease) is resolved here, before the
+// replicas are taken, and the dispatch below runs at that fixed count.
+func evaluate(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, batchSize int, w Workers) (acc, loss float64, err error) {
 	if ds.Len() == 0 {
 		return 0, 0, fmt.Errorf("fl: Evaluate: empty dataset")
 	}
@@ -172,7 +174,8 @@ func evaluate(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, batc
 	n := ds.Len()
 	feat := ds.Features()
 	numBatches := (n + batchSize - 1) / batchSize
-	workers = effectiveWorkers(numBatches, workers)
+	workers, leased := w.lease(numBatches)
+	defer w.Budget.ReleaseN(leased)
 
 	pool := models.Replicas(factory)
 	reps := make([]*models.Replica, workers)
@@ -196,7 +199,7 @@ func evaluate(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, batc
 		idxBufs[i] = make([]int, batchSize)
 		yBufs[i] = make([]int, batchSize)
 	}
-	parallelForWorker(numBatches, workers, func(w, b int) {
+	parallelForWorker(numBatches, Limit(workers), func(w, b int) {
 		start := b * batchSize
 		end := start + batchSize
 		if end > n {

@@ -31,22 +31,22 @@ type PerClientReport struct {
 }
 
 // EvaluatePerClient measures the model on every client's local data.
-// Clients are evaluated in parallel across at most workers goroutines
-// (0 means every core, matching Config.Parallelism's convention; each
-// worker runs a serial per-client pass); the report is reduced in client
-// order, so the result is identical at every worker count.
-func EvaluatePerClient(env *Env, vec nn.ParamVector, batchSize, workers int) (*PerClientReport, error) {
+// Clients are evaluated in parallel across the allowance w (Workers{}
+// means every core, unbudgeted, matching the old workers=0 convention;
+// each worker runs a serial per-client pass); the report is reduced in
+// client order, so the result is identical at every worker count.
+func EvaluatePerClient(env *Env, vec nn.ParamVector, batchSize int, w Workers) (*PerClientReport, error) {
 	n := env.NumClients()
 	if n == 0 {
 		return nil, fmt.Errorf("fl: EvaluatePerClient: no clients")
 	}
 	clientAccs := make([]float64, n)
-	err := parallelForErr(n, workers, func(ci int) error {
+	err := parallelForErr(n, w, func(ci int) error {
 		shard := env.Fed.Clients[ci]
 		if shard.Len() == 0 {
 			return nil
 		}
-		acc, _, err := evaluate(env.Model, vec, shard, batchSize, 1)
+		acc, _, err := evaluate(env.Model, vec, shard, batchSize, Limit(1))
 		if err != nil {
 			return fmt.Errorf("fl: EvaluatePerClient client %d: %w", ci, err)
 		}

@@ -12,7 +12,7 @@ import (
 func TestEvaluatePerClient(t *testing.T) {
 	env := testEnv(31, 5)
 	vec := nn.FlattenParams(env.Model.New(tensor.NewRNG(1)).Params())
-	rep, err := EvaluatePerClient(env, vec, 32, 0)
+	rep, err := EvaluatePerClient(env, vec, 32, Limit(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestEvaluatePerClientWeightedMean(t *testing.T) {
 	// different sizes and check the identity directly.
 	env := testEnv(32, 2)
 	vec := nn.FlattenParams(env.Model.New(tensor.NewRNG(2)).Params())
-	rep, err := EvaluatePerClient(env, vec, 32, 0)
+	rep, err := EvaluatePerClient(env, vec, 32, Limit(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +63,11 @@ func TestEvaluatePerClientTrainedBeatsRandom(t *testing.T) {
 		t.Fatal(err)
 	}
 	random := nn.FlattenParams(env.Model.New(tensor.NewRNG(99)).Params())
-	repR, err := EvaluatePerClient(env, random, 32, 0)
+	repR, err := EvaluatePerClient(env, random, 32, Limit(0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	repT, err := EvaluatePerClient(env, algo.Global(), 32, 0)
+	repT, err := EvaluatePerClient(env, algo.Global(), 32, Limit(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestEvaluatePerClientTrainedBeatsRandom(t *testing.T) {
 
 func TestEvaluatePerClientErrors(t *testing.T) {
 	env := &Env{Fed: &data.Federated{}, Model: testEnv(1, 2).Model}
-	if _, err := EvaluatePerClient(env, nil, 32, 0); err == nil {
+	if _, err := EvaluatePerClient(env, nil, 32, Limit(0)); err == nil {
 		t.Fatal("empty federation must error")
 	}
 }

@@ -36,14 +36,15 @@ type LocalJob struct {
 	RNG *tensor.RNG
 }
 
-// TrainAll runs every job's local training across at most workers
-// goroutines (workers <= 0 means runtime.NumCPU()) and returns the
-// results in job order. Any error aborts the round: in-flight jobs
-// finish, unstarted jobs are skipped, and the error with the lowest job
-// index among those that actually failed is returned.
-func TrainAll(env *Env, jobs []LocalJob, workers int) ([]LocalResult, error) {
+// TrainAll runs every job's local training across the allowance w (see
+// Workers: at most w.Max goroutines, leased from w.Budget when it is
+// shared with other concurrent simulations) and returns the results in
+// job order. Any error aborts the round: in-flight jobs finish, unstarted
+// jobs are skipped, and the error with the lowest job index among those
+// that actually failed is returned.
+func TrainAll(env *Env, jobs []LocalJob, w Workers) ([]LocalResult, error) {
 	results := make([]LocalResult, len(jobs))
-	err := parallelForErr(len(jobs), workers, func(i int) error {
+	err := parallelForErr(len(jobs), w, func(i int) error {
 		job := jobs[i]
 		shard := job.Shard
 		if shard == nil {
@@ -62,28 +63,63 @@ func TrainAll(env *Env, jobs []LocalJob, workers int) ([]LocalResult, error) {
 	return results, nil
 }
 
+// ParallelForErr exposes the fail-fast loop to the scheduling layers (the
+// experiment grid runner): fn(i) must write only state owned by iteration
+// i. Semantics match TrainAll's error contract: first failure by index
+// wins, unstarted iterations are skipped.
+func ParallelForErr(n int, w Workers, fn func(i int) error) error {
+	return parallelForErr(n, w, fn)
+}
+
 // parallelForErr runs fn like parallelFor but fails fast: once any
-// iteration returns an error, unstarted iterations are skipped
-// (in-flight ones finish), and the lowest-index error among the
-// iterations that actually ran is returned.
-func parallelForErr(n, workers int, fn func(i int) error) error {
-	errs := make([]error, n)
-	var failed atomic.Bool
-	parallelFor(n, workers, func(i int) {
-		if failed.Load() {
-			return
+// iteration returns an error the shared claim counter is fast-forwarded
+// past n, so the remaining iterations are never even claimed (the old
+// loop spun every one of them through a claim-and-skip pass — wasted
+// cycles for huge n). In-flight iterations finish, and the lowest-index
+// error among the iterations that actually failed is returned (tracked as
+// a running minimum, not an O(n) error slice).
+func parallelForErr(n int, w Workers, fn func(i int) error) error {
+	workers, leased := w.lease(n)
+	defer w.Budget.ReleaseN(leased)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
 		}
-		if err := fn(i); err != nil {
-			errs[i] = err
-			failed.Store(true)
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+		return nil
 	}
-	return nil
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		minIdx = n
+		minErr error
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < minIdx {
+						minIdx, minErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					next.Store(int64(n)) // fast-forward: stop claim churn
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return minErr
 }
 
 // parallelFor runs fn(i) for every i in [0,n) across at most workers
@@ -92,7 +128,7 @@ func parallelForErr(n, workers int, fn func(i int) error) error {
 // costs; it returns once every iteration has finished. fn must be safe to
 // call concurrently for distinct i.
 func parallelFor(n, workers int, fn func(i int)) {
-	parallelForWorker(n, workers, func(_, i int) { fn(i) })
+	parallelForWorker(n, Limit(workers), func(_, i int) { fn(i) })
 }
 
 // ParallelFor exposes the engine's deterministic work-stealing loop to
@@ -101,13 +137,22 @@ func parallelFor(n, workers int, fn func(i int)) {
 // scheduling.
 func ParallelFor(n, workers int, fn func(i int)) { parallelFor(n, workers, fn) }
 
-// parallelForWorker is parallelFor with the executing worker's index in
-// [0, effectiveWorkers(n, workers)) passed to fn, so callers can lease
-// per-worker state (evaluation replicas, index buffers) up front. Worker
-// identity must never influence results — only which scratch state an
-// iteration uses.
-func parallelForWorker(n, workers int, fn func(w, i int)) {
-	workers = effectiveWorkers(n, workers)
+// ParallelForW is ParallelFor under a Workers allowance, so budgeted
+// callers (similarity passes running inside scheduled grid cells) fan out
+// only as far as the shared budget allows.
+func ParallelForW(n int, w Workers, fn func(i int)) {
+	parallelForWorker(n, w, func(_, i int) { fn(i) })
+}
+
+// parallelForWorker is the budget-aware dispatch core: it resolves the
+// allowance (leasing fan-out tokens beyond the always-granted inline
+// worker when a budget is attached) and passes the executing worker's
+// index in [0, workers) to fn, so callers can lease per-worker state
+// (evaluation replicas, index buffers) up front. Worker identity must
+// never influence results — only which scratch state an iteration uses.
+func parallelForWorker(n int, w Workers, fn func(wk, i int)) {
+	workers, leased := w.lease(n)
+	defer w.Budget.ReleaseN(leased)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(0, i)
@@ -117,17 +162,17 @@ func parallelForWorker(n, workers int, fn func(w, i int)) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
+	for wk := 0; wk < workers; wk++ {
+		go func(wk int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(w, i)
+				fn(wk, i)
 			}
-		}(w)
+		}(wk)
 	}
 	wg.Wait()
 }

@@ -45,11 +45,11 @@ func TestTrainAllParallelismInvariant(t *testing.T) {
 	env := testEnv(21, 6)
 	init := nn.FlattenParams(env.Model.New(tensor.NewRNG(22)).Params())
 
-	serial, err := TrainAll(env, trainJobs(env, init, 23), 1)
+	serial, err := TrainAll(env, trainJobs(env, init, 23), Limit(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := TrainAll(env, trainJobs(env, init, 23), 8)
+	parallel, err := TrainAll(env, trainJobs(env, init, 23), Limit(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestTrainAllShardOverride(t *testing.T) {
 		Spec:   LocalSpec{Init: init, Epochs: 1, BatchSize: 16, LR: 0.05},
 		RNG:    tensor.NewRNG(33),
 	}}
-	results, err := TrainAll(env, jobs, 2)
+	results, err := TrainAll(env, jobs, Limit(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestTrainAllReportsFirstErrorByJobIndex(t *testing.T) {
 		{Client: 0, Spec: LocalSpec{Init: init, Epochs: 1, BatchSize: 16, LR: 0.05}, RNG: tensor.NewRNG(43)},
 		{Client: 1, Shard: empty, Spec: LocalSpec{Init: init, Epochs: 1, BatchSize: 16, LR: 0.05}, RNG: tensor.NewRNG(44)},
 	}
-	_, err := TrainAll(env, jobs, 4)
+	_, err := TrainAll(env, jobs, Limit(4))
 	if err == nil {
 		t.Fatal("expected error from the empty shard")
 	}
@@ -107,11 +107,11 @@ func TestTrainAllReportsFirstErrorByJobIndex(t *testing.T) {
 func TestEvaluateWorkerInvariant(t *testing.T) {
 	env := testEnv(51, 2)
 	vec := nn.FlattenParams(env.Model.New(tensor.NewRNG(52)).Params())
-	accSerial, lossSerial, err := evaluate(env.Model, vec, env.Fed.Test, 7, 1)
+	accSerial, lossSerial, err := evaluate(env.Model, vec, env.Fed.Test, 7, Limit(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	accPar, lossPar, err := evaluate(env.Model, vec, env.Fed.Test, 7, 8)
+	accPar, lossPar, err := evaluate(env.Model, vec, env.Fed.Test, 7, Limit(8))
 	if err != nil {
 		t.Fatal(err)
 	}

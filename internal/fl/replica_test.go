@@ -41,11 +41,11 @@ func TestTrainLocalReplicaReuse(t *testing.T) {
 	// Both eval paths must be equally oblivious to pool state: the first
 	// Evaluate on this factory constructs eval replicas, the second
 	// reuses them.
-	a1, l1, err := Evaluate(factory, fresh.Params, env.Fed.Test, 16, 0)
+	a1, l1, err := Evaluate(factory, fresh.Params, env.Fed.Test, 16, Limit(0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, l2, err := Evaluate(factory, reused.Params, env.Fed.Test, 16, 0)
+	a2, l2, err := Evaluate(factory, reused.Params, env.Fed.Test, 16, Limit(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,11 +53,11 @@ func TestTrainLocalReplicaReuse(t *testing.T) {
 		t.Fatalf("Evaluate differs between cold and warm pool: %v/%v vs %v/%v", a1, l1, a2, l2)
 	}
 	envU := &Env{Fed: env.Fed, Model: factory}
-	p1, err := EvaluatePerClient(envU, fresh.Params, 16, 0)
+	p1, err := EvaluatePerClient(envU, fresh.Params, 16, Limit(0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := EvaluatePerClient(envU, reused.Params, 16, 0)
+	p2, err := EvaluatePerClient(envU, reused.Params, 16, Limit(0))
 	if err != nil {
 		t.Fatal(err)
 	}

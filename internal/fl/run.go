@@ -160,7 +160,7 @@ func Run(algo Algorithm, env *Env, cfg Config) (*History, error) {
 
 		last := r == cfg.Rounds-1
 		if last || (cfg.EvalEvery > 0 && (r+1)%cfg.EvalEvery == 0) {
-			acc, loss, err := evaluate(env.Model, algo.Global(), env.Fed.Test, 64, cfg.Workers())
+			acc, loss, err := evaluate(env.Model, algo.Global(), env.Fed.Test, 64, cfg.Allowance())
 			if err != nil {
 				return nil, fmt.Errorf("fl: Run: eval round %d: %w", r, err)
 			}

@@ -56,6 +56,11 @@ type Options struct {
 	// MaxSamples caps how many evaluation samples are used (0 = all);
 	// landscape scans are Resolution² evaluations, so this bounds cost.
 	MaxSamples int
+	// Workers is the allowance the per-probe evaluations draw from (the
+	// zero value means every core, unbudgeted; the Fig-4 harness attaches
+	// the experiment scheduler's shared budget here so concurrent grid
+	// cells never oversubscribe).
+	Workers fl.Workers
 }
 
 // DefaultOptions mirrors the paper's [-0.5, 0.5] axes at a small grid.
@@ -113,7 +118,7 @@ func Scan2D(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, opts O
 			copy(probe, vec)
 			probe.AXPY(xs[i], d1)
 			probe.AXPY(ys[j], d2)
-			_, loss, err := fl.Evaluate(factory, probe, eval, 64, 0)
+			_, loss, err := fl.Evaluate(factory, probe, eval, 64, opts.Workers)
 			if err != nil {
 				return nil, fmt.Errorf("landscape: probe (%d,%d): %w", i, j, err)
 			}
@@ -169,11 +174,11 @@ func normalizedDirection(factory models.Factory, vec nn.ParamVector, rng *tensor
 // increase at the given radius over nDirs random filter-normalised
 // directions. Lower is flatter; the paper's RQ1 expects
 // Sharpness(FedCross) < Sharpness(FedAvg).
-func Sharpness(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, radius float64, nDirs int, seed int64) (float64, error) {
+func Sharpness(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, radius float64, nDirs int, seed int64, w fl.Workers) (float64, error) {
 	if radius <= 0 || nDirs <= 0 {
 		return 0, fmt.Errorf("landscape: Sharpness radius %v / nDirs %d invalid", radius, nDirs)
 	}
-	_, base, err := fl.Evaluate(factory, vec, ds, 64, 0)
+	_, base, err := fl.Evaluate(factory, vec, ds, 64, w)
 	if err != nil {
 		return 0, fmt.Errorf("landscape: Sharpness base eval: %w", err)
 	}
@@ -184,13 +189,13 @@ func Sharpness(factory models.Factory, vec nn.ParamVector, ds *data.Dataset, rad
 		dir := normalizedDirection(factory, vec, rng)
 		copy(probe, vec)
 		probe.AXPY(radius, dir)
-		_, lp, err := fl.Evaluate(factory, probe, ds, 64, 0)
+		_, lp, err := fl.Evaluate(factory, probe, ds, 64, w)
 		if err != nil {
 			return 0, fmt.Errorf("landscape: Sharpness probe %d: %w", d, err)
 		}
 		copy(probe, vec)
 		probe.AXPY(-radius, dir)
-		_, lm, err := fl.Evaluate(factory, probe, ds, 64, 0)
+		_, lm, err := fl.Evaluate(factory, probe, ds, 64, w)
 		if err != nil {
 			return 0, fmt.Errorf("landscape: Sharpness probe -%d: %w", d, err)
 		}

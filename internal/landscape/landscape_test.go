@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fedcross/internal/data"
+	"fedcross/internal/fl"
 	"fedcross/internal/models"
 	"fedcross/internal/nn"
 	"fedcross/internal/tensor"
@@ -124,11 +125,11 @@ func TestSharpnessDetectsCurvatureDifference(t *testing.T) {
 		opt.Step(net.Params(), net.Grads())
 	}
 	vec := nn.FlattenParams(net.Params())
-	small, err := Sharpness(factory, vec, test, 0.05, 4, 11)
+	small, err := Sharpness(factory, vec, test, 0.05, 4, 11, fl.Workers{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	large, err := Sharpness(factory, vec, test, 0.5, 4, 11)
+	large, err := Sharpness(factory, vec, test, 0.5, 4, 11, fl.Workers{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,10 +144,10 @@ func TestSharpnessDetectsCurvatureDifference(t *testing.T) {
 func TestSharpnessValidation(t *testing.T) {
 	factory, test := landEnv(10)
 	vec := nn.FlattenParams(factory.New(tensor.NewRNG(1)).Params())
-	if _, err := Sharpness(factory, vec, test, 0, 2, 1); err == nil {
+	if _, err := Sharpness(factory, vec, test, 0, 2, 1, fl.Workers{}); err == nil {
 		t.Fatal("radius 0 must error")
 	}
-	if _, err := Sharpness(factory, vec, test, 0.1, 0, 1); err == nil {
+	if _, err := Sharpness(factory, vec, test, 0.1, 0, 1, fl.Workers{}); err == nil {
 		t.Fatal("nDirs 0 must error")
 	}
 }

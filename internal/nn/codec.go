@@ -4,12 +4,44 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
+	"slices"
 	"strconv"
 	"strings"
 
 	"fedcross/internal/tensor"
 )
+
+// CodecWorkers is the number of goroutines one encode or decode of a
+// large payload may fan out over (0 or 1 disables parallelism). Small
+// payloads always run serially, so the per-exchange cost of the threshold
+// check is a single comparison. Like tensor.MatMulWorkers, the fan-out is
+// element-chunked with fixed boundaries per (length, workers), and every
+// element's bytes are a pure function of its value — so encoded payloads
+// and decoded vectors are bit-identical at every worker count.
+var CodecWorkers = runtime.GOMAXPROCS(0)
+
+// minParallelCodec is the element count below which an encode/decode pass
+// is not worth fanning out.
+const minParallelCodec = 1 << 14
+
+// codecWorkers resolves the fan-out for an n-element pass.
+func codecWorkers(n int) int {
+	w := CodecWorkers
+	if n < minParallelCodec || w < 1 {
+		return 1
+	}
+	return w
+}
+
+// codecGrow extends buf by n bytes in place (contents unspecified) and
+// returns the extension alongside the full slice — the destination the
+// chunk-parallel kernels fill, since concurrent writers cannot append.
+func codecGrow(buf []byte, n int) (ext, all []byte) {
+	off := len(buf)
+	buf = slices.Grow(buf, n)[:off+n]
+	return buf[off:], buf
+}
 
 // A Codec turns a ParamVector into wire bytes and back — the compression
 // layer of the simulated FL transport. All four built-in codecs emit a
@@ -146,11 +178,12 @@ func (FP16Codec) EncodedSize(n int) int64 { return codecHeaderBytes + 2*int64(n)
 // Encode implements Codec.
 func (FP16Codec) Encode(buf []byte, vec ParamVector) []byte {
 	buf = putCount(buf, len(vec))
-	var w [2]byte
-	for _, v := range vec {
-		binary.LittleEndian.PutUint16(w[:], tensor.Float16Bits(v))
-		buf = append(buf, w[:]...)
-	}
+	body, buf := codecGrow(buf, 2*len(vec))
+	tensor.ParallelChunks(len(vec), codecWorkers(len(vec)), func(_, i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			binary.LittleEndian.PutUint16(body[2*i:], tensor.Float16Bits(vec[i]))
+		}
+	})
 	return buf
 }
 
@@ -164,9 +197,11 @@ func (c FP16Codec) Decode(dst ParamVector, data []byte) (int, error) {
 		return 0, fmt.Errorf("nn: fp16: body truncated (%d of %d bytes)", len(data), want)
 	}
 	body := data[codecHeaderBytes:]
-	for i := range dst {
-		dst[i] = tensor.Float16From(binary.LittleEndian.Uint16(body[2*i:]))
-	}
+	tensor.ParallelChunks(len(dst), codecWorkers(len(dst)), func(_, i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			dst[i] = tensor.Float16From(binary.LittleEndian.Uint16(body[2*i:]))
+		}
+	})
 	return want, nil
 }
 
@@ -191,7 +226,69 @@ func (Int8Codec) EncodedSize(n int) int64 { return codecHeaderBytes + 16 + int64
 // Encode implements Codec.
 func (Int8Codec) Encode(buf []byte, vec ParamVector) []byte {
 	buf = putCount(buf, len(vec))
-	lo, hi := math.Inf(1), math.Inf(-1)
+	lo, hi := int8Range(vec)
+	scale := (hi - lo) / 255
+	var w [16]byte
+	binary.LittleEndian.PutUint64(w[:8], math.Float64bits(lo))
+	binary.LittleEndian.PutUint64(w[8:], math.Float64bits(scale))
+	buf = append(buf, w[:]...)
+	body, buf := codecGrow(buf, len(vec))
+	tensor.ParallelChunks(len(vec), codecWorkers(len(vec)), func(_, i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			q := 0.0
+			if scale > 0 {
+				q = math.Round((vec[i] - lo) / scale)
+			}
+			// !(q >= 0) also catches NaN inputs (and NaN from 0·Inf above).
+			if !(q >= 0) {
+				q = 0
+			} else if q > 255 {
+				q = 255
+			}
+			body[i] = byte(q)
+		}
+	})
+	return buf
+}
+
+// int8Range finds the finite [lo, hi] value range of vec. Large vectors
+// reduce per chunk and combine in chunk order; min/max are exact, so the
+// range is identical to the serial scan at every worker count.
+func int8Range(vec ParamVector) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	if workers := codecWorkers(len(vec)); workers > 1 {
+		// ParallelChunks can dispatch fewer chunks than workers (the last
+		// chunk may cover the remainder), so the undispatched slots must
+		// read as "no finite values", not as zeros — a zero would be
+		// combined into the range and corrupt the quantization grid.
+		los := make([]float64, workers)
+		his := make([]float64, workers)
+		for i := range los {
+			los[i], his[i] = math.Inf(1), math.Inf(-1)
+		}
+		tensor.ParallelChunks(len(vec), workers, func(c, i0, i1 int) {
+			los[c], his[c] = finiteRange(vec[i0:i1])
+		})
+		for i := 0; i < workers; i++ {
+			if los[i] < lo {
+				lo = los[i]
+			}
+			if his[i] > hi {
+				hi = his[i]
+			}
+		}
+	} else {
+		lo, hi = finiteRange(vec)
+	}
+	if lo > hi { // no finite values (or empty): pin the grid at zero
+		lo, hi = 0, 0
+	}
+	return lo, hi
+}
+
+// finiteRange scans for the finite min and max (+Inf/-Inf when none).
+func finiteRange(vec ParamVector) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
 	for _, v := range vec {
 		if math.IsInf(v, 0) || math.IsNaN(v) {
 			continue
@@ -203,28 +300,7 @@ func (Int8Codec) Encode(buf []byte, vec ParamVector) []byte {
 			hi = v
 		}
 	}
-	if lo > hi { // no finite values (or empty): pin the grid at zero
-		lo, hi = 0, 0
-	}
-	scale := (hi - lo) / 255
-	var w [16]byte
-	binary.LittleEndian.PutUint64(w[:8], math.Float64bits(lo))
-	binary.LittleEndian.PutUint64(w[8:], math.Float64bits(scale))
-	buf = append(buf, w[:]...)
-	for _, v := range vec {
-		q := 0.0
-		if scale > 0 {
-			q = math.Round((v - lo) / scale)
-		}
-		// !(q >= 0) also catches NaN inputs (and NaN from 0·Inf above).
-		if !(q >= 0) {
-			q = 0
-		} else if q > 255 {
-			q = 255
-		}
-		buf = append(buf, byte(q))
-	}
-	return buf
+	return lo, hi
 }
 
 // Decode implements Codec.
@@ -239,9 +315,11 @@ func (c Int8Codec) Decode(dst ParamVector, data []byte) (int, error) {
 	lo := math.Float64frombits(binary.LittleEndian.Uint64(data[codecHeaderBytes:]))
 	scale := math.Float64frombits(binary.LittleEndian.Uint64(data[codecHeaderBytes+8:]))
 	body := data[codecHeaderBytes+16:]
-	for i := range dst {
-		dst[i] = lo + scale*float64(body[i])
-	}
+	tensor.ParallelChunks(len(dst), codecWorkers(len(dst)), func(_, i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			dst[i] = lo + scale*float64(body[i])
+		}
+	})
 	return want, nil
 }
 
@@ -300,15 +378,26 @@ func (c TopKCodec) Encode(buf []byte, vec ParamVector) []byte {
 	if k == 0 {
 		return buf
 	}
-	// Threshold = k-th largest magnitude, from a sorted scratch copy; the
-	// pass below then takes strictly-greater entries first and fills the
-	// remainder with threshold ties in index order — fully deterministic.
-	mags := make([]float64, len(vec))
-	for i, v := range vec {
-		mags[i] = topkMag(v)
-	}
-	sort.Float64s(mags)
-	thresh := mags[len(vec)-k]
+	// Threshold = k-th largest magnitude, found by quickselect over an
+	// arena-leased scratch copy; the pass below then takes strictly-greater
+	// entries first and fills the remainder with threshold ties in index
+	// order — fully deterministic, because the threshold is a value (the
+	// element at sorted position n−k), not a permutation, so any selection
+	// strategy yields the same emit set as the full sort did. The mags
+	// buffer outlives the (reordering) selection via a second scratch, so
+	// the emit passes compare cached magnitudes instead of recomputing
+	// them.
+	magsT := tensor.GetScratch(len(vec))
+	selT := tensor.GetScratch(len(vec))
+	mags, sel := magsT.Data[:len(vec)], selT.Data[:len(vec)]
+	tensor.ParallelChunks(len(vec), codecWorkers(len(vec)), func(_, i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			mags[i] = topkMag(vec[i])
+		}
+		copy(sel[i0:i1], mags[i0:i1])
+	})
+	thresh := selectNth(sel, len(vec)-k)
+	tensor.PutScratch(selT)
 
 	emit := func(i int) {
 		binary.LittleEndian.PutUint32(w[:4], uint32(i))
@@ -316,21 +405,22 @@ func (c TopKCodec) Encode(buf []byte, vec ParamVector) []byte {
 		buf = append(buf, w[:]...)
 	}
 	left := k
-	for i, v := range vec {
-		if left > 0 && topkMag(v) > thresh {
+	for i, m := range mags {
+		if left > 0 && m > thresh {
 			emit(i)
 			left--
 		}
 	}
-	for i, v := range vec {
+	for i, m := range mags {
 		if left == 0 {
 			break
 		}
-		if topkMag(v) == thresh {
+		if m == thresh {
 			emit(i)
 			left--
 		}
 	}
+	tensor.PutScratch(magsT)
 	return buf
 }
 
@@ -362,4 +452,65 @@ func (c TopKCodec) Decode(dst ParamVector, data []byte) (int, error) {
 		dst[idx] = float64(math.Float32frombits(binary.LittleEndian.Uint32(body[8*p+4:])))
 	}
 	return want, nil
+}
+
+// selectNth returns the value at sorted position n (0-based ascending) of
+// a, overwriting a as scratch — the linear-time replacement for the full
+// sort the threshold pass used to pay. It is a radix selection over the
+// order-preserving integer encoding of the floats: one 256-way histogram
+// pass per key byte, from the top byte down, narrowing to the bucket that
+// contains the target rank. Unlike quickselect it has no degenerate
+// inputs — the tie plateaus a delta-encoded payload produces (runs of
+// zero residuals) collapse into one bucket and terminate the scan — and
+// it is trivially deterministic: the result is a value, never a
+// permutation. a must be NaN-free (topkMag already maps NaN to +Inf).
+func selectNth(a []float64, n int) float64 {
+	cur := a
+	rank := n
+	for shift := 56; ; shift -= 8 {
+		var counts [256]int
+		for _, v := range cur {
+			counts[floatKey(v)>>shift&0xff]++
+		}
+		bucket := 0
+		for cum := 0; ; bucket++ {
+			if cum+counts[bucket] > rank {
+				rank -= cum
+				break
+			}
+			cum += counts[bucket]
+		}
+		if counts[bucket] == 1 || shift == 0 {
+			// A singleton bucket (or byte exhaustion: all candidates share
+			// every remaining byte, i.e. they are equal) pins the value.
+			for _, v := range cur {
+				if int(floatKey(v)>>shift&0xff) == bucket {
+					return v
+				}
+			}
+		}
+		if counts[bucket] == len(cur) {
+			continue // every candidate shares this byte: nothing to filter
+		}
+		// Compact the bucket's candidates to the front and recurse on them.
+		w := 0
+		for _, v := range cur {
+			if int(floatKey(v)>>shift&0xff) == bucket {
+				cur[w] = v
+				w++
+			}
+		}
+		cur = cur[:w]
+	}
+}
+
+// floatKey maps a float64 to a uint64 whose unsigned ordering matches the
+// float ordering over all non-NaN values (the standard total-order
+// transform: negative values flip every bit, others flip the sign bit).
+func floatKey(v float64) uint64 {
+	b := math.Float64bits(v)
+	if b>>63 != 0 {
+		return ^b
+	}
+	return b | 1<<63
 }

@@ -1,7 +1,9 @@
 package nn
 
 import (
+	"bytes"
 	"math"
+	"sort"
 	"testing"
 
 	"fedcross/internal/tensor"
@@ -272,6 +274,168 @@ func TestFloat16KernelExhaustive(t *testing.T) {
 		}
 		if back != b {
 			t.Fatalf("bits %#04x -> %v -> %#04x", b, v, back)
+		}
+	}
+}
+
+// TestSelectNthMatchesSort pins the quickselect threshold against the
+// full sort it replaced, across the shapes that break naive pivoting:
+// random, sorted both ways, all-equal, two-valued plateaus (the shape
+// delta-encoded payloads produce), and single elements.
+func TestSelectNthMatchesSort(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	shapes := map[string]func(n int) []float64{
+		"random": func(n int) []float64 { return randVec(rng, n, 1) },
+		"sorted": func(n int) []float64 {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = float64(i)
+			}
+			return v
+		},
+		"reversed": func(n int) []float64 {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = float64(n - i)
+			}
+			return v
+		},
+		"all-equal": func(n int) []float64 {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = 7
+			}
+			return v
+		},
+		"plateau": func(n int) []float64 {
+			v := make([]float64, n)
+			for i := range v {
+				if rng.Float64() < 0.9 {
+					v[i] = 0 // zero residuals under delta encoding
+				} else {
+					v[i] = rng.Normal(0, 1)
+				}
+			}
+			return v
+		},
+		"infs": func(n int) []float64 {
+			v := randVec(rng, n, 1)
+			v[0] = math.Inf(1) // topkMag(NaN)
+			v[n/2] = math.Inf(1)
+			return v
+		},
+	}
+	for name, mk := range shapes {
+		for _, n := range []int{1, 2, 3, 17, 1000} {
+			v := mk(n)
+			want := append([]float64(nil), v...)
+			sort.Float64s(want)
+			for _, nth := range []int{0, n / 3, n - 1} {
+				got := selectNth(append([]float64(nil), v...), nth)
+				if got != want[nth] {
+					t.Fatalf("%s n=%d: selectNth(%d) = %v, want %v", name, n, nth, got, want[nth])
+				}
+			}
+		}
+	}
+}
+
+// TestTopKQuickselectMatchesSortContract re-derives the emitted set with
+// the original sort-based threshold on a large random payload and checks
+// the quickselect encoder ships exactly the same (index, value) pairs.
+func TestTopKQuickselectMatchesSortContract(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	vec := randVec(rng, 4096, 1)
+	// Inject magnitude ties so the tie-break path is exercised at scale.
+	for i := 0; i < 4096; i += 7 {
+		vec[i] = 0.25
+	}
+	c := TopKCodec{Frac: 0.1}
+	got := roundTrip(t, c, vec)
+
+	mags := make([]float64, len(vec))
+	for i, v := range vec {
+		mags[i] = topkMag(v)
+	}
+	sort.Float64s(mags)
+	thresh := mags[len(vec)-c.Keep(len(vec))]
+	want := make(ParamVector, len(vec))
+	left := c.Keep(len(vec))
+	for i, v := range vec {
+		if left > 0 && topkMag(v) > thresh {
+			want[i] = float64(float32(v))
+			left--
+		}
+	}
+	for i, v := range vec {
+		if left == 0 {
+			break
+		}
+		if topkMag(v) == thresh {
+			want[i] = float64(float32(v))
+			left--
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: quickselect ships %v, sort contract %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestInt8RangeManyWorkers pins the chunk-combine fix: when the worker
+// count exceeds the number of chunks actually dispatched (payload just
+// past the parallel threshold, huge CodecWorkers), the undispatched
+// combine slots must not contribute phantom zeros to the range.
+func TestInt8RangeManyWorkers(t *testing.T) {
+	defer func(w int) { CodecWorkers = w }(CodecWorkers)
+	vec := make(ParamVector, minParallelCodec+1)
+	for i := range vec {
+		vec[i] = 5 + float64(i%7)/7 // all values in [5, 6): lo must be 5
+	}
+	CodecWorkers = 1
+	wantLo, wantHi := int8Range(vec)
+	for _, workers := range []int{2, 129, 192, 1024} {
+		CodecWorkers = workers
+		lo, hi := int8Range(vec)
+		if lo != wantLo || hi != wantHi {
+			t.Fatalf("workers=%d: range [%v, %v], serial [%v, %v]", workers, lo, hi, wantLo, wantHi)
+		}
+	}
+}
+
+// TestCodecParallelismInvariance pins the chunk-parallel kernels: encoded
+// bytes and decoded vectors are byte-identical with the fan-out disabled
+// and at a worker count that forces several chunks on a payload past the
+// parallel threshold.
+func TestCodecParallelismInvariance(t *testing.T) {
+	defer func(w int) { CodecWorkers = w }(CodecWorkers)
+	rng := tensor.NewRNG(13)
+	vec := randVec(rng, minParallelCodec+513, 1)
+	vec[1] = math.NaN()
+	vec[2] = math.Inf(1)
+	vec[3] = math.Inf(-1)
+	for _, c := range allCodecs(t) {
+		CodecWorkers = 1
+		serialBuf := c.Encode(nil, vec)
+		serialDst := make(ParamVector, len(vec))
+		if _, err := c.Decode(serialDst, serialBuf); err != nil {
+			t.Fatalf("%s serial decode: %v", c.Name(), err)
+		}
+		CodecWorkers = 8
+		parBuf := c.Encode(nil, vec)
+		parDst := make(ParamVector, len(vec))
+		if _, err := c.Decode(parDst, parBuf); err != nil {
+			t.Fatalf("%s parallel decode: %v", c.Name(), err)
+		}
+		if !bytes.Equal(serialBuf, parBuf) {
+			t.Fatalf("%s: parallel encode differs from serial", c.Name())
+		}
+		for i := range serialDst {
+			s, p := serialDst[i], parDst[i]
+			if s != p && !(math.IsNaN(s) && math.IsNaN(p)) {
+				t.Fatalf("%s: decoded element %d: parallel %v, serial %v", c.Name(), i, p, s)
+			}
 		}
 	}
 }

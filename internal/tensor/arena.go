@@ -139,6 +139,40 @@ func matmulWorkerCount(m, work int) int {
 	return workers
 }
 
+// ParallelChunks runs fn over [0,n) split into contiguous chunks across
+// at most workers goroutines (values below 2, or n < 2, run inline). It
+// is the element-wise fan-out behind the chunk-parallel codec kernels:
+// chunk boundaries depend only on (n, workers), and fn(c, i0, i1) must
+// write only state owned by elements [i0, i1) or by the chunk ordinal c
+// (a dense index in [0, chunk count) — callers reducing per-chunk
+// partials key their scratch by c rather than re-deriving the split), so
+// results are bit-identical at every worker count — the same contract as
+// the matmul row fan-out above. At most `workers` chunks are produced,
+// but possibly fewer.
+func ParallelChunks(n, workers int, fn func(c, i0, i1 int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for c, i0 := 0, 0; i0 < n; c, i0 = c+1, i0+chunk {
+		i1 := i0 + chunk
+		if i1 > n {
+			i1 = n
+		}
+		wg.Add(1)
+		go func(c, a, b int) {
+			defer wg.Done()
+			fn(c, a, b)
+		}(c, i0, i1)
+	}
+	wg.Wait()
+}
+
 // parallelRows runs fn over [0,m) split into contiguous row chunks across
 // the given number of goroutines. fn(i0, i1) must touch only rows [i0,i1)
 // of the output.

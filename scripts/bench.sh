@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the perf-tracking benchmarks and emit a machine-readable
-# snapshot (default BENCH_pr4.json) so the repo's performance trajectory
+# snapshot (default BENCH_pr5.json) so the repo's performance trajectory
 # is diffable across PRs.
 #
 # Usage:
@@ -10,19 +10,22 @@
 #   BENCHTIME  go test -benchtime value (default 1x — each harness runs
 #              once; raise for steadier ns/op)
 #   BENCH      bench regexp (default: BenchmarkRoundParallel plus every
-#              Table/Figure/Ablation harness and the kernel micro-benches)
+#              Table/Figure/Ablation harness, the experiment-scheduler
+#              smoke — its tableII_smoke_s wall-clock at jobs-1 vs
+#              jobs-NumCPU is the grid-level speedup record — and the
+#              kernel micro-benches)
 #
 # Each JSON record carries ns_per_op, allocs_per_op, bytes_per_op and
 # mb_per_op as reported by -benchmem, plus any domain metrics the bench
-# emitted via b.ReportMetric (accuracy, skew, sharpness, and — since the
-# transport layer — wire bytes per round / per payload, so the trajectory
-# covers communication as well as compute).
+# emitted via b.ReportMetric (accuracy, skew, sharpness, wire bytes per
+# round / per payload, codec MB/s, and the TableII-smoke wall-clock — so
+# the trajectory covers communication and scheduling as well as compute).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr4.json}
+OUT=${1:-BENCH_pr5.json}
 BENCHTIME=${BENCHTIME:-1x}
-BENCH=${BENCH:-'BenchmarkRoundParallel|BenchmarkTransportCodecs|BenchmarkTable|BenchmarkFig|BenchmarkAblation|BenchmarkTheory|BenchmarkCrossAggr|BenchmarkCosineSimilarity|BenchmarkSimilarityMatrix|BenchmarkLocalTrainingCNN|BenchmarkLandscapeScan'}
+BENCH=${BENCH:-'BenchmarkRoundParallel|BenchmarkExperimentScheduler|BenchmarkTransportCodecs|BenchmarkTable|BenchmarkFig|BenchmarkAblation|BenchmarkTheory|BenchmarkCrossAggr|BenchmarkCosineSimilarity|BenchmarkSimilarityMatrix|BenchmarkLocalTrainingCNN|BenchmarkLandscapeScan'}
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
