@@ -222,6 +222,89 @@ func RunCommCurve(opts CommCurveOptions) (*CommCurveResult, error) {
 	return experiments.RunCommCurve(opts)
 }
 
+// --- robust aggregation and Byzantine clients --------------------------------
+
+// Reducer is the pluggable server-side aggregation rule every algorithm
+// folds its uploads through; see fl.Reducer. A nil Config.Reducer keeps
+// the legacy weighted mean, bit for bit.
+type Reducer = fl.Reducer
+
+// KrumReducer is the Krum / Multi-Krum geometric selection rule, built on
+// the fused similarity-matrix kernel; see core.KrumReducer.
+type KrumReducer = core.KrumReducer
+
+// ReducerByName resolves an aggregation rule from its flag spelling:
+// "mean", "median", "trimmed[:frac]", "krum[:f]", "multikrum[:f[:m]]".
+// Each call returns a fresh instance, safe to hand to one concurrent run.
+func ReducerByName(name string) (Reducer, error) { return core.ReducerByName(name) }
+
+// ReduceUploads validates a cohort (ragged uploads, weight mismatches,
+// non-finite vectors) and applies the rule; nil means the weighted mean.
+func ReduceUploads(r Reducer, uploads []ParamVector, weights []float64) (ParamVector, error) {
+	return fl.ReduceUploads(r, uploads, weights)
+}
+
+// AdversaryOptions injects Byzantine clients into a run; see
+// fl.AdversaryOptions. Set it via Config.Adversary.
+type AdversaryOptions = fl.AdversaryOptions
+
+// Byzantine attack behaviours.
+const (
+	AttackNone      = fl.AttackNone
+	AttackLabelFlip = fl.AttackLabelFlip
+	AttackSignFlip  = fl.AttackSignFlip
+	AttackScale     = fl.AttackScale
+	AttackCollude   = fl.AttackCollude
+)
+
+// AsyncOptions configures the buffered-async (FedBuff-style) engine; see
+// fl.AsyncOptions.
+type AsyncOptions = fl.AsyncOptions
+
+// RunAsync executes a buffered-async federation: clients train on
+// snapshots of the global model and the server folds staleness-weighted
+// arrivals, committing every Buffer-th one. Histories are byte-identical
+// at every Config.Parallelism for a fixed seed.
+func RunAsync(env *Env, cfg Config, opts AsyncOptions) (*History, error) {
+	return fl.RunAsync(env, cfg, opts)
+}
+
+// RobustOptions configures the attacker-fraction × reducer sweep; see
+// experiments.RobustOptions.
+type RobustOptions = experiments.RobustOptions
+
+// RobustResult holds the sweep grid with per-cell retention; see
+// experiments.RobustResult.
+type RobustResult = experiments.RobustResult
+
+// DefaultRobustOptions mirrors the cmd/fedsim -experiment robust
+// defaults.
+func DefaultRobustOptions() RobustOptions { return experiments.DefaultRobustOptions() }
+
+// RunRobust sweeps attacker fraction × aggregation rule on identical
+// environments (Section IV-style robustness grid).
+func RunRobust(opts RobustOptions) (*RobustResult, error) { return experiments.RunRobust(opts) }
+
+// AsyncSweepOptions configures the buffer × concurrency sweep; see
+// experiments.AsyncSweepOptions.
+type AsyncSweepOptions = experiments.AsyncSweepOptions
+
+// AsyncSweepResult holds the async sweep grid; see
+// experiments.AsyncSweepResult.
+type AsyncSweepResult = experiments.AsyncSweepResult
+
+// DefaultAsyncSweepOptions mirrors the cmd/fedsim -experiment async
+// defaults for a profile.
+func DefaultAsyncSweepOptions(p Profile) AsyncSweepOptions {
+	return experiments.DefaultAsyncSweepOptions(p)
+}
+
+// RunAsyncSweep sweeps the buffered-async engine over commit buffer sizes
+// and in-flight job counts.
+func RunAsyncSweep(opts AsyncSweepOptions) (*AsyncSweepResult, error) {
+	return experiments.RunAsyncSweep(opts)
+}
+
 // --- analysis ----------------------------------------------------------------
 
 // LandscapeGrid is a 2-D loss-surface slice; see landscape.Grid.

@@ -514,6 +514,77 @@ func BenchmarkLocalTrainingCNN(b *testing.B) {
 	}
 }
 
+// BenchmarkReducers measures every aggregation rule on a cohort of 10
+// model-sized uploads (2^16 parameters) — the server-side cost a robust
+// rule adds over the plain mean. The rank-based rules (trimmed mean,
+// median) pay a per-coordinate sort; Krum pays a fused K×K distance
+// matrix plus score sort, Multi-Krum the same matrix plus a selected
+// mean.
+func BenchmarkReducers(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	const k = 10
+	ups := make([]nn.ParamVector, k)
+	for i := range ups {
+		ups[i] = make(nn.ParamVector, 1<<16)
+		for j := range ups[i] {
+			ups[i][j] = rng.Normal(0, 1)
+		}
+	}
+	for _, name := range []string{"mean", "trimmed:0.25", "median", "krum", "multikrum"} {
+		r, err := core.ReducerByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fl.ReduceUploads(r, ups, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAsyncRound measures the buffered-async (FedBuff) engine end to
+// end at the tiny profile: 12 buffered commits per iteration, reporting
+// model-arrival throughput — the async counterpart of the sync engine's
+// BenchmarkRoundParallel. Runs are bit-identical at every fan-out
+// (TestAsyncFoldDeterminism), so serial vs parallel timing is pure
+// speedup.
+func BenchmarkAsyncRound(b *testing.B) {
+	prof := experiments.TinyProfile()
+	prof.EvalEvery = 0
+	prof.NumClients = 16
+	prof.ClientsPerRound = 8
+	cases := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel-%d", runtime.NumCPU()), runtime.NumCPU()},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			prof.Parallelism = bc.workers
+			env, err := prof.BuildEnv("vision10", "cnn", data.Heterogeneity{Beta: 0.5}, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := fl.AsyncOptions{Buffer: 4, InFlight: 8, Commits: 12}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				hist, err := fl.RunAsync(env, prof.Config(1), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(hist.Comm.ModelsUp)/time.Since(start).Seconds(), "arrivals/s")
+				b.ReportMetric(hist.Final().TestAcc, "final_acc")
+			}
+		})
+	}
+}
+
 func BenchmarkLandscapeScan(b *testing.B) {
 	cfg := data.VisionConfig{
 		Classes: 4, Features: 16,

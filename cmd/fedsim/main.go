@@ -11,6 +11,9 @@
 //	fedsim -experiment table2 -jobs 1         # force sequential grid cells (same results)
 //	fedsim -experiment comm -codecs identity,int8,topk
 //	fedsim -experiment table2 -codec fp16 -net lte -deadline 30
+//	fedsim -experiment robust -attack signflip -fracs 0,0.2 -reducers mean,krum
+//	fedsim -experiment async -buffers 1,4,8 -staleexp 0.5
+//	fedsim -experiment table2 -reducer krum -attack scale -attackfrac 0.1
 //
 // Profiles: tiny (seconds), small (minutes), paper (the scaled
 // paper-shaped setup; hours for the full grid). Every experiment grid
@@ -29,6 +32,18 @@
 // stragglers. All three apply to every experiment; the comm experiment
 // additionally sweeps -codecs on identical runs and reports accuracy
 // against measured megabytes on the wire.
+//
+// Robustness: -reducer swaps the server-side aggregation rule (mean,
+// median, trimmed[:frac], krum[:f], multikrum[:f[:m]]) and -attack
+// compromises an -attackfrac fraction of the client population
+// (labelflip, signflip, scale, collude; -attackscale amplifies the
+// scaled attacks). Both apply to any experiment; the robust experiment
+// sweeps -reducers × -fracs on identical environments and reports each
+// rule's retention of its own benign accuracy. The async experiment
+// runs the buffered-async (FedBuff-style) engine over -buffers ×
+// -inflights, with -staleexp damping stale arrivals; -buffer and
+// -inflight pin a single cell. Attacked and async runs keep the same
+// fixed-seed determinism as everything else.
 package main
 
 import (
@@ -46,7 +61,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "table1", "experiment to run: table1, table2, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, comm, ablations, all")
+		experiment = flag.String("experiment", "table1", "experiment to run: table1, table2, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, comm, robust, async, ablations, all")
 		profile    = flag.String("profile", "tiny", "run scale: tiny, small, paper")
 		modelsFlag = flag.String("models", "cnn", "comma-separated vision models (cnn,resnet,vgg,mlp)")
 		datasets   = flag.String("datasets", "vision10", "comma-separated datasets for table2")
@@ -54,6 +69,7 @@ func main() {
 		iid        = flag.Bool("iid", true, "include the IID setting where applicable")
 		alphas     = flag.String("alphas", "0.5,0.8,0.9,0.95,0.99,0.999", "comma-separated alphas for table3/fig8")
 		rounds     = flag.Int("rounds", 0, "override the profile's round count (0 keeps profile default)")
+		clients    = flag.Int("clients", 0, "override the profile's clients per round K (0 keeps profile default)")
 		seeds      = flag.Int("seeds", 0, "override the number of seeds (0 keeps profile default)")
 		parallel   = flag.Int("parallel", 0, "worker goroutines for client training/eval (0 = all cores, 1 = serial; results are identical)")
 		jobs       = flag.Int("jobs", 0, "concurrent experiment grid cells (0 = all cores, 1 = sequential; results are identical)")
@@ -61,6 +77,18 @@ func main() {
 		network    = flag.String("net", "none", "simulated link model: none, fiber, wifi, lte, edge")
 		deadline   = flag.Float64("deadline", 0, "per-round client deadline in seconds (0 = none); late uploads become stragglers")
 		codecs     = flag.String("codecs", "identity,fp16,int8,topk", "comma-separated codec sweep for the comm experiment")
+
+		reducer     = flag.String("reducer", "", "server-side aggregation rule: mean, trimmed[:frac], median, krum[:f], multikrum[:f]:[m] (empty = classic weighted mean)")
+		attack      = flag.String("attack", "none", "Byzantine client behaviour: none, labelflip, signflip, scale, collude")
+		attackFrac  = flag.Float64("attackfrac", 0, "fraction of the client population compromised, in [0,1)")
+		attackScale = flag.Float64("attackscale", 0, "magnitude of the scale/collude attacks (0 = default 10)")
+		reducers    = flag.String("reducers", "mean,trimmed,median,krum,multikrum", "comma-separated reducer sweep for the robust experiment")
+		fracs       = flag.String("fracs", "0,0.2", "comma-separated attacker fractions for the robust experiment")
+		buffers     = flag.String("buffers", "1,4,8", "comma-separated commit buffer sizes for the async experiment")
+		inflights   = flag.String("inflights", "", "comma-separated in-flight client counts for the async experiment (empty = K,2K)")
+		buffer      = flag.Int("buffer", 0, "async commit buffer size B outside the sweep (0 = default 4)")
+		inflight    = flag.Int("inflight", 0, "async concurrent clients M outside the sweep (0 = clients per round)")
+		staleExp    = flag.Float64("staleexp", 0, "async staleness-weight exponent p in 1/(1+s)^p (0 = default 0.5)")
 	)
 	flag.Parse()
 
@@ -70,6 +98,9 @@ func main() {
 	}
 	if *rounds > 0 {
 		prof.Rounds = *rounds
+	}
+	if *clients > 0 {
+		prof.ClientsPerRound = *clients
 	}
 	if *parallel < 0 {
 		fatal(fmt.Errorf("-parallel %d must be non-negative", *parallel))
@@ -86,6 +117,16 @@ func main() {
 	}
 	prof.DeadlineSec = *deadline
 	if err := (fl.TransportOptions{Codec: prof.Codec, Network: prof.Network, DeadlineSec: prof.DeadlineSec}).Validate(); err != nil {
+		fatal(err)
+	}
+	if err := experiments.ValidateReducer(*reducer); err != nil {
+		fatal(err)
+	}
+	prof.Reducer = *reducer
+	prof.Attack = *attack
+	prof.AttackFrac = *attackFrac
+	prof.AttackScale = *attackScale
+	if err := (fl.AdversaryOptions{Attack: prof.Attack, Frac: prof.AttackFrac, Scale: prof.AttackScale}).Validate(); err != nil {
 		fatal(err)
 	}
 	if *seeds > 0 {
@@ -216,6 +257,59 @@ func main() {
 				return err
 			}
 			return res.Render(os.Stdout)
+		case "robust":
+			opts := experiments.DefaultRobustOptions()
+			opts.Profile = prof
+			opts.Model = modelList[0]
+			if *attack != "" && *attack != "none" {
+				opts.Attack = *attack
+			}
+			opts.Scale = *attackScale
+			if list := splitList(*reducers); len(list) > 0 {
+				opts.Reducers = list
+			}
+			fr, err := parseFloats(*fracs)
+			if err != nil {
+				return err
+			}
+			if len(fr) > 0 {
+				opts.Fracs = fr
+			}
+			res, err := experiments.RunRobust(opts)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "async":
+			opts := experiments.DefaultAsyncSweepOptions(prof)
+			opts.Model = modelList[0]
+			opts.Async = fl.AsyncOptions{StalenessExp: *staleExp}
+			bufList, err := parseInts(*buffers)
+			if err != nil {
+				return err
+			}
+			if len(bufList) > 0 {
+				opts.Buffers = bufList
+			}
+			ifList, err := parseInts(*inflights)
+			if err != nil {
+				return err
+			}
+			if len(ifList) > 0 {
+				opts.InFlights = ifList
+			}
+			// -buffer / -inflight pin a single cell on each axis.
+			if *buffer > 0 {
+				opts.Buffers = []int{*buffer}
+			}
+			if *inflight > 0 {
+				opts.InFlights = []int{*inflight}
+			}
+			res, err := experiments.RunAsyncSweep(opts)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
 		case "ablations":
 			aopts := experiments.DefaultAblationOptions()
 			aopts.Profile = prof
@@ -246,7 +340,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "comm", "ablations"}
+		names = []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "comm", "robust", "async", "ablations"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {
@@ -295,6 +389,18 @@ func parseFloats(s string) ([]float64, error) {
 		v, err := strconv.ParseFloat(part, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad float %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad positive integer %q", part)
 		}
 		out = append(out, v)
 	}

@@ -170,7 +170,10 @@ func (a *CluSamp) Round(r int, selected []int) error {
 	if len(uploads) == 0 {
 		return nil
 	}
-	a.global = nn.WeightedMeanVectors(uploads, weights)
+	a.global, err = reduce(a.cfg, a.global, uploads, weights)
+	if err != nil {
+		return fmt.Errorf("baselines: clusamp round %d: %w", r, err)
+	}
 	return nil
 }
 

@@ -6,6 +6,7 @@
 package baselines
 
 import (
+	"errors"
 	"fmt"
 
 	"fedcross/internal/fl"
@@ -50,12 +51,30 @@ func (a *FedAvg) Round(r int, selected []int) error {
 	if len(uploads) == 0 {
 		return nil // every client dropped; keep the current global model
 	}
-	a.global = nn.WeightedMeanVectors(uploads, weights)
+	a.global, err = reduce(a.cfg, a.global, uploads, weights)
+	if err != nil {
+		return fmt.Errorf("baselines: fedavg round %d: %w", r, err)
+	}
 	return nil
 }
 
 // Global implements fl.Algorithm.
 func (a *FedAvg) Global() nn.ParamVector { return a.global }
+
+// reduce routes a round's server-side aggregation through the configured
+// fl.Reducer (nil keeps the legacy weighted mean, bit-identical). When
+// the non-finite screen drops every upload the current model survives
+// unchanged — a fully poisoned round behaves like a fully dropped one.
+func reduce(cfg fl.Config, cur nn.ParamVector, uploads []nn.ParamVector, weights []float64) (nn.ParamVector, error) {
+	agg, err := fl.ReduceUploads(cfg.Reducer, uploads, weights)
+	if errors.Is(err, fl.ErrNoFiniteUploads) {
+		return cur, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
 
 // RoundComm implements fl.Algorithm: K models down, K models up.
 func (a *FedAvg) RoundComm(k int) fl.CommProfile {

@@ -168,7 +168,10 @@ func (a *FedGen) Round(r int, selected []int) error {
 	if len(uploads) == 0 {
 		return nil
 	}
-	a.global = nn.WeightedMeanVectors(uploads, weights)
+	a.global, err = reduce(a.cfg, a.global, uploads, weights)
+	if err != nil {
+		return fmt.Errorf("baselines: fedgen round %d: %w", r, err)
+	}
 	a.trainGenerator(uploads)
 	return nil
 }

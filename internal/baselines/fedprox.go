@@ -57,7 +57,10 @@ func (a *FedProx) Round(r int, selected []int) error {
 	if len(uploads) == 0 {
 		return nil
 	}
-	a.global = nn.WeightedMeanVectors(uploads, weights)
+	a.global, err = reduce(a.cfg, a.global, uploads, weights)
+	if err != nil {
+		return fmt.Errorf("baselines: fedprox round %d: %w", r, err)
+	}
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"errors"
 	"fmt"
 
 	"fedcross/internal/fl"
@@ -87,6 +88,7 @@ func (a *SCAFFOLD) Round(r int, selected []int) error {
 	}
 
 	var modelDeltaSum, variateDeltaSum nn.ParamVector
+	var models []nn.ParamVector // reducer path: the server-visible uploads
 	participants := 0
 	for j, res := range results {
 		ci := jobs[j].Client
@@ -115,6 +117,9 @@ func (a *SCAFFOLD) Round(r int, selected []int) error {
 		}
 		modelDeltaSum.AXPY(1, model.Sub(a.global))
 		variateDeltaSum.AXPY(1, variate.Sub(a.ci[ci]))
+		if a.cfg.Reducer != nil {
+			models = append(models, model)
+		}
 		a.ci[ci] = variate
 		participants++
 	}
@@ -122,7 +127,21 @@ func (a *SCAFFOLD) Round(r int, selected []int) error {
 		return nil
 	}
 	// Server updates: x ← x + (1/|S|)·Σ(yᵢ−x); c ← c + (|S|/N)·mean variate delta.
-	a.global.AXPY(1/float64(participants), modelDeltaSum)
+	// The x-update algebraically equals the plain mean of the uploaded
+	// models, but the delta-sum form differs from it in final-ulp rounding
+	// — so the reducer path (x ← Reduce(models)) engages only when a rule
+	// is configured, and nil keeps histories bit-identical.
+	if a.cfg.Reducer != nil {
+		agg, err := fl.ReduceUploads(a.cfg.Reducer, models, nil)
+		if err != nil && !errors.Is(err, fl.ErrNoFiniteUploads) {
+			return fmt.Errorf("baselines: scaffold round %d: %w", r, err)
+		}
+		if err == nil {
+			a.global = agg
+		}
+	} else {
+		a.global.AXPY(1/float64(participants), modelDeltaSum)
+	}
 	a.c.AXPY(1/float64(a.env.NumClients()), variateDeltaSum)
 	return nil
 }

@@ -418,10 +418,23 @@ func (f *FedCross) propellerAggrTo(dst nn.ParamVector, i, r int, uploads []nn.Pa
 	nn.LerpVectorsTo(dst, uploads[i], dst, alpha)
 }
 
-// Global implements fl.Algorithm: the one-shot average of the middleware
-// models, computed on demand because it never trains.
+// Global implements fl.Algorithm: the one-shot fusion of the middleware
+// models, computed on demand because it never trains. The default is
+// GlobalModelGen's plain mean; with a Config.Reducer set, the configured
+// rule fuses the middleware instead, so a Byzantine middleware model
+// (poisoned through a compromised client's cross-aggregation) cannot
+// steer the deployment model. nil stays bit-identical to GlobalModelGen.
 func (f *FedCross) Global() nn.ParamVector {
-	return GlobalModelGen(f.middleware)
+	if f.cfg.Reducer == nil {
+		return GlobalModelGen(f.middleware)
+	}
+	agg, err := fl.ReduceUploads(f.cfg.Reducer, f.middleware, nil)
+	if err != nil {
+		// Middleware vectors are engine-owned; only a fully non-finite set
+		// can fail here, and then the plain mean is no worse.
+		return GlobalModelGen(f.middleware)
+	}
+	return agg
 }
 
 // Middleware exposes copies of the middleware-model vectors for analysis

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fedcross/internal/data"
+	"fedcross/internal/fl"
+)
+
+// AsyncSweepOptions configures the buffered-asynchronous sweep: the
+// FedBuff engine run on identical environments under every (buffer size ×
+// in-flight concurrency) combination, so the grid shows how the
+// staleness/throughput trade moves with both knobs.
+type AsyncSweepOptions struct {
+	Profile Profile
+	// Dataset / Model / Het choose the environment (defaults: vision10,
+	// cnn, Dir(0.5)).
+	Dataset, Model string
+	Het            data.Heterogeneity
+	// Buffers are the commit buffer sizes B swept (default 1, 4, 8).
+	Buffers []int
+	// InFlights are the concurrent-client counts M swept (default K,
+	// 2K for the profile's K).
+	InFlights []int
+	// Async seeds the engine options shared by every cell (staleness
+	// exponent, server LR, compute model); Buffer and InFlight are
+	// overwritten per cell.
+	Async fl.AsyncOptions
+}
+
+// DefaultAsyncSweepOptions returns the standard sweep for a profile.
+func DefaultAsyncSweepOptions(p Profile) AsyncSweepOptions {
+	k := p.ClientsPerRound
+	if k <= 0 {
+		k = 4
+	}
+	return AsyncSweepOptions{
+		Profile:   p,
+		Dataset:   "vision10",
+		Model:     "cnn",
+		Het:       data.Heterogeneity{Beta: 0.5},
+		Buffers:   []int{1, 4, 8},
+		InFlights: []int{k, 2 * k},
+	}
+}
+
+// AsyncCell is one (buffer, in-flight) run's summary.
+type AsyncCell struct {
+	Buffer, InFlight  int
+	FinalAcc, BestAcc float64
+	// Arrivals is the total number of uploads folded; MBUp is the
+	// measured uplink traffic.
+	Arrivals int
+	MBUp     float64
+}
+
+// AsyncSweepResult holds the grid, row-major over (buffer, in-flight).
+type AsyncSweepResult struct {
+	Title     string
+	Buffers   []int
+	InFlights []int
+	Cells     []AsyncCell
+}
+
+// Cell returns the (buffer index, in-flight index) cell.
+func (r *AsyncSweepResult) Cell(i, j int) AsyncCell { return r.Cells[i*len(r.InFlights)+j] }
+
+// RunAsyncSweep executes the buffered-asynchronous grid through the
+// scheduler (shared environment build, shared worker budget). Each cell's
+// history is a pure function of its seed and knobs — the async engine
+// draws every arrival time and client pick serially at dispatch — so the
+// grid is bit-identical at every Jobs/Parallelism setting.
+func RunAsyncSweep(opts AsyncSweepOptions) (*AsyncSweepResult, error) {
+	def := DefaultAsyncSweepOptions(opts.Profile)
+	if opts.Dataset == "" {
+		opts.Dataset = def.Dataset
+	}
+	if opts.Model == "" {
+		opts.Model = def.Model
+	}
+	if len(opts.Buffers) == 0 {
+		opts.Buffers = def.Buffers
+	}
+	if len(opts.InFlights) == 0 {
+		opts.InFlights = def.InFlights
+	}
+	seed := int64(1)
+	if len(opts.Profile.Seeds) > 0 {
+		seed = opts.Profile.Seeds[0]
+	}
+	res := &AsyncSweepResult{
+		Title: fmt.Sprintf("Buffered-async (FedBuff) — %s/%s, net=%s",
+			opts.Dataset, opts.Model, netName(opts.Profile.Network)),
+		Buffers:   opts.Buffers,
+		InFlights: opts.InFlights,
+		Cells:     make([]AsyncCell, len(opts.Buffers)*len(opts.InFlights)),
+	}
+	s := newScheduler(opts.Profile)
+	err := s.Run(len(res.Cells), func(idx int) error {
+		i, j := idx/len(opts.InFlights), idx%len(opts.InFlights)
+		env, err := s.Env(opts.Profile, opts.Dataset, opts.Model, opts.Het, seed)
+		if err != nil {
+			return err
+		}
+		ao := opts.Async
+		ao.Buffer = opts.Buffers[i]
+		ao.InFlight = opts.InFlights[j]
+		hist, err := fl.RunAsync(env, s.Config(opts.Profile, seed), ao)
+		if err != nil {
+			return fmt.Errorf("experiments: async B=%d M=%d: %w",
+				opts.Buffers[i], opts.InFlights[j], err)
+		}
+		res.Cells[idx] = AsyncCell{
+			Buffer:   opts.Buffers[i],
+			InFlight: opts.InFlights[j],
+			FinalAcc: hist.Final().TestAcc,
+			BestAcc:  hist.BestAcc(),
+			Arrivals: hist.Comm.ModelsUp,
+			MBUp:     float64(hist.BytesUp) / (1 << 20),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render writes the grid as one table, a row per (buffer, in-flight).
+func (r *AsyncSweepResult) Render(w io.Writer) error {
+	t := Table{
+		Title:  r.Title,
+		Header: []string{"Buffer", "In-flight", "Final acc", "Best acc", "Arrivals", "MB up"},
+	}
+	for i := range r.Buffers {
+		for j := range r.InFlights {
+			c := r.Cell(i, j)
+			t.Add(
+				fmt.Sprintf("%d", c.Buffer),
+				fmt.Sprintf("%d", c.InFlight),
+				fmt.Sprintf("%.4f", c.FinalAcc),
+				fmt.Sprintf("%.4f", c.BestAcc),
+				fmt.Sprintf("%d", c.Arrivals),
+				fmt.Sprintf("%.2f", c.MBUp),
+			)
+		}
+	}
+	_, err := t.WriteTo(w)
+	return err
+}

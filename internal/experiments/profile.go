@@ -53,6 +53,15 @@ type Profile struct {
 	// the pass-through reference wire.
 	Codec, Network string
 	DeadlineSec    float64
+	// Reducer names the server-side aggregation rule every run's upload
+	// fold routes through (core.ReducerByName registry: mean,
+	// trimmed[:frac], median, krum[:f], multikrum[:f]:[m]). "" keeps the
+	// legacy weighted mean, bit-identical to the pre-reducer engine.
+	Reducer string
+	// Attack, AttackFrac and AttackScale configure Byzantine client
+	// injection (fl.AdversaryOptions); zero values run benign.
+	Attack                  string
+	AttackFrac, AttackScale float64
 }
 
 // TinyProfile sizes experiments for unit tests and testing.B benches:
@@ -102,9 +111,14 @@ func PaperProfile() Profile {
 }
 
 // Config converts the profile into the runner configuration for a given
-// seed.
+// seed. A non-empty Reducer name is resolved through core.ReducerByName;
+// an unknown name panics, so CLI layers must pre-validate with
+// ValidateReducer (every run would fail identically anyway — the panic
+// just surfaces the typo at configuration time instead of once per cell).
+// Each call constructs a fresh reducer instance: reducers carry per-run
+// worker allowances, so concurrent grid cells must never share one.
 func (p Profile) Config(seed int64) fl.Config {
-	return fl.Config{
+	cfg := fl.Config{
 		Rounds:          p.Rounds,
 		ClientsPerRound: p.ClientsPerRound,
 		LocalEpochs:     p.LocalEpochs,
@@ -119,7 +133,30 @@ func (p Profile) Config(seed int64) fl.Config {
 			Network:     p.Network,
 			DeadlineSec: p.DeadlineSec,
 		},
+		Adversary: fl.AdversaryOptions{
+			Attack: p.Attack,
+			Frac:   p.AttackFrac,
+			Scale:  p.AttackScale,
+		},
 	}
+	if p.Reducer != "" {
+		r, err := core.ReducerByName(p.Reducer)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: profile %q: %v", p.Name, err))
+		}
+		cfg.Reducer = r
+	}
+	return cfg
+}
+
+// ValidateReducer checks a reducer name against the full registry without
+// constructing a run — the CLI pre-flight for Profile.Config's panic.
+func ValidateReducer(name string) error {
+	if name == "" {
+		return nil
+	}
+	_, err := core.ReducerByName(name)
+	return err
 }
 
 // AlgorithmNames lists the six methods of the comparison in the paper's

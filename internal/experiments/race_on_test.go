@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active. The heavy
+// fixed-seed accuracy gates skip under it: their numbers are identical
+// with or without instrumentation, and the same code paths get race
+// coverage from the (much lighter) grid-determinism tests.
+const raceEnabled = true

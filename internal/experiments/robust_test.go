@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRobustGridDeterminism: the robust and async grids are bit-identical
+// at Jobs=1 and Jobs=4, the same render-bytes invariant every other grid
+// holds.
+func TestRobustGridDeterminism(t *testing.T) {
+	grids := map[string]func(p Profile) (renderable, error){
+		"robust": func(p Profile) (renderable, error) {
+			o := DefaultRobustOptions()
+			o.Profile = p
+			o.Model = "mlp"
+			o.Fracs = []float64{0, 0.25}
+			o.Reducers = []string{"mean", "median", "krum"}
+			return RunRobust(o)
+		},
+		"async": func(p Profile) (renderable, error) {
+			o := DefaultAsyncSweepOptions(p)
+			o.Model = "mlp"
+			o.Buffers = []int{2, 4}
+			o.InFlights = []int{3}
+			return RunAsyncSweep(o)
+		},
+	}
+	for name, run := range grids {
+		serial := renderAtJobs(t, 1, run)
+		wide := renderAtJobs(t, 4, run)
+		if !bytes.Equal(serial, wide) {
+			t.Fatalf("%s: Jobs=1 vs Jobs=4 renders differ:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s",
+				name, serial, wide)
+		}
+	}
+}
+
+// TestRobustProfileWiring: profile-level reducer/attack settings reach the
+// run config — an unknown reducer name fails pre-flight, and a valid grid
+// carries the attacker population it claims.
+func TestRobustProfileWiring(t *testing.T) {
+	if err := ValidateReducer("krum:2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReducer("nonsense"); err == nil {
+		t.Fatal("bad reducer names must fail pre-flight")
+	}
+	p := microProfile()
+	p.Reducer = "median"
+	p.Attack = "signflip"
+	p.AttackFrac = 0.25
+	cfg := p.Config(1)
+	if cfg.Reducer == nil || cfg.Reducer.Name() != "median" {
+		t.Fatalf("reducer not wired: %+v", cfg.Reducer)
+	}
+	if cfg.Adversary.Attack != "signflip" || cfg.Adversary.Frac != 0.25 {
+		t.Fatalf("adversary not wired: %+v", cfg.Adversary)
+	}
+	o := DefaultRobustOptions()
+	o.Profile = microProfile()
+	o.Model = "mlp"
+	o.Fracs = []float64{0.5}
+	o.Reducers = []string{"median"}
+	res, err := RunRobust(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Cell(0, 0).Attackers; got != 3 { // round(0.5·6)
+		t.Fatalf("attacker count %d, want 3", got)
+	}
+	if _, err := RunRobust(RobustOptions{Profile: microProfile(), Reducers: []string{"nope"}}); err == nil {
+		t.Fatal("unknown reducer in the sweep must fail before any cell runs")
+	}
+}
+
+// TestRobustAccuracyFloor is the PR's acceptance gate: at 20% sign-flip
+// attackers (K=10 cohorts, so rank-based rules can actually outvote the
+// worst hypergeometric draw), Krum and the heavily-trimmed mean hold at
+// least 90% of their benign accuracy while the plain mean collapses
+// below half of its own. Fixed seed, deterministic engine — these are
+// exact reproducible numbers, not a statistical bound.
+func TestRobustAccuracyFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell training grid")
+	}
+	if raceEnabled {
+		t.Skip("fixed-seed numeric gate; race coverage comes from TestRobustGridDeterminism")
+	}
+	p := TinyProfile()
+	p.ClientsPerRound = 10
+	p.Rounds = 24
+	p.EvalEvery = 0 // final-only eval; training streams are unaffected
+	o := DefaultRobustOptions()
+	o.Profile = p
+	o.Fracs = []float64{0, 0.2}
+	o.Reducers = []string{"mean", "trimmed:0.4", "krum"}
+	res, err := RunRobust(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retention := func(j int) (benign, attacked, ret float64) {
+		b, a := res.Cell(0, j), res.Cell(1, j)
+		return b.FinalAcc, a.FinalAcc, a.FinalAcc / b.FinalAcc
+	}
+	if b, a, ret := retention(0); ret >= 0.5 {
+		t.Fatalf("mean should collapse under 20%% sign-flip: benign %v, attacked %v (retention %v)", b, a, ret)
+	}
+	for j, name := range []string{"", "trimmed:0.4", "krum"} {
+		if j == 0 {
+			continue
+		}
+		if b, a, ret := retention(j); ret < 0.9 {
+			t.Fatalf("%s should hold ≥90%% of benign accuracy: benign %v, attacked %v (retention %v)", name, b, a, ret)
+		}
+	}
+}

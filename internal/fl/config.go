@@ -51,6 +51,15 @@ type Config struct {
 	// identity codec, ideal network, no deadline — bit-identical histories
 	// to the accounting-only engine.
 	Transport TransportOptions
+	// Reducer is the server-side aggregation rule every algorithm's
+	// upload fold routes through (see ReduceUploads). nil keeps the
+	// legacy weighted-mean path, bit-identical to the pre-reducer engine;
+	// the robust rules (trimmed mean, median, core's Krum family) swap in
+	// here.
+	Reducer Reducer
+	// Adversary injects Byzantine clients (see AdversaryOptions). The
+	// zero value runs the benign setting with histories untouched.
+	Adversary AdversaryOptions
 	// Budget, when non-nil, is the shared worker-token pool this run's
 	// training and evaluation fan-outs lease goroutines from — set by the
 	// experiment scheduler so concurrently running grid cells never
@@ -94,6 +103,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fl: DropoutRate = %v, must be in [0,1)", c.DropoutRate)
 	case c.Parallelism < 0:
 		return fmt.Errorf("fl: Parallelism = %d, must be non-negative", c.Parallelism)
+	}
+	if err := c.Adversary.Validate(); err != nil {
+		return err
 	}
 	return c.Transport.Validate()
 }

@@ -120,10 +120,13 @@ func Run(algo Algorithm, env *Env, cfg Config) (*History, error) {
 		k = n
 	}
 	rng := tensor.NewRNG(cfg.Seed)
-	if err := algo.Init(env, cfg, rng.Split()); err != nil {
-		return nil, fmt.Errorf("fl: Run: init %s: %w", algo.Name(), err)
-	}
-
+	// The split order below is the determinism anchor: initRNG, selRNG,
+	// dropRNG, netRNG were split in exactly this order before the
+	// adversary existed, and advRNG comes last — the parent stream is
+	// never drawn from again, so benign histories are bit-identical to
+	// the pre-adversary engine, and the attacker set is a pure function
+	// of cfg.Seed (identical at every -jobs/worker fan-out).
+	initRNG := rng.Split()
 	selRNG := rng.Split()
 	dropRNG := rng.Split()
 	// The transport's stream is split after the pre-existing ones, so
@@ -131,12 +134,26 @@ func Run(algo Algorithm, env *Env, cfg Config) (*History, error) {
 	// introduction — histories with the reference wire stay bit-identical
 	// to the accounting-only engine.
 	netRNG := rng.Split()
+	advRNG := rng.Split()
 	tr, err := NewTransport(cfg.Transport)
 	if err != nil {
 		return nil, fmt.Errorf("fl: Run: %w", err)
 	}
+	adv := NewAdversary(cfg.Adversary, n, advRNG)
+	tr.SetAdversary(adv)
+	// Label-flip attackers train honestly on dishonest data: the
+	// algorithm sees a copy-on-write environment whose compromised shards
+	// carry flipped labels. Every other attack corrupts uploads at the
+	// transport seam instead.
+	env = adv.ShadowEnv(env)
+	if ws, ok := cfg.Reducer.(WorkersSetter); ok {
+		ws.SetWorkers(cfg.Allowance())
+	}
 	if tu, ok := algo.(TransportUser); ok {
 		tu.SetTransport(tr)
+	}
+	if err := algo.Init(env, cfg, initRNG); err != nil {
+		return nil, fmt.Errorf("fl: Run: init %s: %w", algo.Name(), err)
 	}
 	hist := &History{Algorithm: algo.Name()}
 	var acct Accountant

@@ -109,6 +109,10 @@ type Transport struct {
 
 	links map[int]*link
 
+	// adv, when non-nil, corrupts compromised clients' uploads before
+	// they are encoded (see Adversary). Set by the runner.
+	adv *Adversary
+
 	// round counters, folded into the cumulative ones by EndRound.
 	roundDown, roundUp int64
 	roundStragglers    int
@@ -160,6 +164,14 @@ func (t *Transport) Network() NetworkModel {
 // vector itself and never touch a destination buffer.
 func (t *Transport) PassThrough() bool { return t == nil || t.codec.Lossless() }
 
+// SetAdversary installs the run's Byzantine adversary (nil for benign
+// runs). Nil-safe on both sides.
+func (t *Transport) SetAdversary(a *Adversary) {
+	if t != nil {
+		t.adv = a
+	}
+}
+
 // BeginRound resets the round counters and draws this round's link
 // conditions for every activated client (dropped slots, marked -1, are
 // skipped) in slot order from rng — which the runner pre-splits serially,
@@ -170,6 +182,7 @@ func (t *Transport) BeginRound(selected []int, rng *tensor.RNG) {
 		return
 	}
 	t.roundDown, t.roundUp, t.roundStragglers = 0, 0, 0
+	t.adv.BeginRound()
 	clear(t.links)
 	for _, ci := range selected {
 		if ci < 0 {
@@ -261,6 +274,10 @@ func (t *Transport) Up(dst nn.ParamVector, client int, vec, ref nn.ParamVector) 
 	if l := t.links[client]; l != nil && l.straggler {
 		return vec, false
 	}
+	// A compromised client transmits its corrupted payload; the server
+	// only ever sees the wire-visible vector, so every algorithm (and
+	// every codec) is attacked uniformly at this one seam.
+	vec = t.adv.CorruptUpload(client, vec)
 	size := t.codec.EncodedSize(len(vec))
 	t.roundUp += size
 	ontime := t.chargeTime(client, size, false)

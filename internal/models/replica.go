@@ -2,6 +2,7 @@ package models
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"fedcross/internal/nn"
 	"fedcross/internal/tensor"
@@ -44,6 +45,11 @@ func (r *Replica) Reset(lr, momentum float64) {
 type ReplicaPool struct {
 	factory Factory
 	pool    sync.Pool
+	// outstanding counts replicas currently leased (Get minus non-nil
+	// Put). It exists for leak detection: every engine code path —
+	// including error exits — must return what it leased, and the tests
+	// assert Outstanding() == 0 after induced failures.
+	outstanding atomic.Int64
 }
 
 // NewReplicaPool returns an empty pool for the factory's architecture.
@@ -57,6 +63,7 @@ func NewReplicaPool(f Factory) *ReplicaPool {
 // RNG for exactly that reason: no caller-visible randomness is consumed,
 // so a pool hit and a pool miss are indistinguishable.
 func (p *ReplicaPool) Get() *Replica {
+	p.outstanding.Add(1)
 	if r, ok := p.pool.Get().(*Replica); ok {
 		return r
 	}
@@ -70,9 +77,14 @@ func (p *ReplicaPool) Get() *Replica {
 // replica afterwards.
 func (p *ReplicaPool) Put(r *Replica) {
 	if r != nil {
+		p.outstanding.Add(-1)
 		p.pool.Put(r)
 	}
 }
+
+// Outstanding reports how many leased replicas have not been returned.
+// Zero between rounds is the leak-freedom invariant the fl tests pin.
+func (p *ReplicaPool) Outstanding() int64 { return p.outstanding.Load() }
 
 // replicaPools maps Factory.Name to its process-wide ReplicaPool.
 var replicaPools sync.Map
