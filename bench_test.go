@@ -545,6 +545,110 @@ func BenchmarkReducers(b *testing.B) {
 	}
 }
 
+// BenchmarkTreeReduce measures the server's aggregation fold at
+// cohort sizes from the legacy serial regime (K=64, single leaf group)
+// up to the tree regime (K=1024, 16 groups combined pairwise), serial vs
+// every core. The tree shape is fixed by K alone — results are
+// bit-identical at every fan-out (TestTreeMeanFanoutInvariance) — so the
+// timing ratio is pure aggregation speedup.
+func BenchmarkTreeReduce(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	const dim = 1 << 16
+	for _, k := range []int{64, 256, 1024} {
+		ups := make([]nn.ParamVector, k)
+		ws := make([]float64, k)
+		for i := range ups {
+			ups[i] = make(nn.ParamVector, dim)
+			for j := range ups[i] {
+				ups[i][j] = rng.Normal(0, 1)
+			}
+			ws[i] = float64(1 + rng.Intn(40))
+		}
+		for _, workers := range []int{1, runtime.NumCPU()} {
+			b.Run(fmt.Sprintf("k%d-w%d", k, workers), func(b *testing.B) {
+				r := fl.MeanReducer{}
+				r.SetWorkers(fl.Limit(workers))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := fl.ReduceUploads(&r, ups, ws); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLazyShardSynthesis measures the virtual-client path: leasing
+// shards from a Lazy source sized so every lease is a cache miss
+// (synthesis + eviction, the steady state of a huge-N round) versus the
+// all-hits regime, reporting shards/s.
+func BenchmarkLazyShardSynthesis(b *testing.B) {
+	cfg := data.VisionConfig{
+		Classes: 10, Features: models.VisionFeatures,
+		TrainPerClass: 100, TestPerClass: 1,
+		ModesPerClass: 2, Sep: 0.6, Noise: 0.8, Seed: 1,
+	}
+	train, _ := data.GenerateVision(cfg)
+	const n = 500
+	cases := []struct {
+		name     string
+		capacity int
+	}{
+		{"miss", 8}, // capacity ≪ clients: every lease synthesizes
+		{"hit", n},  // capacity ≥ clients: steady-state cache hits
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			asg := data.AssignDirichlet(train, n, 0.5, tensor.NewRNG(2))
+			src := data.NewLazy(train, asg, bc.capacity)
+			start := time.Now()
+			leases := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for ci := 0; ci < n; ci++ {
+					if src.Size(ci) == 0 {
+						continue
+					}
+					src.Shard(ci)
+					src.Release(ci)
+					leases++
+				}
+			}
+			b.ReportMetric(float64(leases)/time.Since(start).Seconds(), "shards/s")
+			b.ReportMetric(float64(src.Resident()), "resident")
+		})
+	}
+}
+
+// BenchmarkFig7_MillionClients pins the paper's Figure-7 axis at its
+// target scale: one Fig-7 cell with N=10^6 virtual clients, 100
+// activated per round (the participation cap), shards synthesized on
+// lease. The reported peak_rss_mb is the whole-process high-water mark —
+// the memory-boundedness record for the BENCH trajectory (the same gate
+// CI enforces via fedsim -rsslimitmb).
+func BenchmarkFig7_MillionClients(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := experiments.TinyProfile()
+		p.Rounds = 1
+		p.EvalEvery = 0
+		opts := experiments.Fig7Options{
+			Profile: p, Ns: []int{1_000_000}, Model: "mlp", Beta: 0.5,
+			TotalSamples: 300, Algorithms: []string{"fedavg"},
+		}
+		res, err := experiments.RunFig7(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cells[0].K != 100 {
+			b.Fatalf("K = %d, want the 100-client cap", res.Cells[0].K)
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapSys)/(1<<20), "peak_rss_mb")
+}
+
 // BenchmarkAsyncRound measures the buffered-async (FedBuff) engine end to
 // end at the tiny profile: 12 buffered commits per iteration, reporting
 // model-arrival throughput — the async counterpart of the sync engine's

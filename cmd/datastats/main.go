@@ -53,11 +53,12 @@ func main() {
 		fmt.Printf("%s: %d clients, %d training samples, %d test samples, %d classes\n",
 			env.Fed.Name, env.NumClients(), env.Fed.TotalTrainSamples(), env.Fed.Test.Len(), env.Fed.Classes)
 		fmt.Println("client\tsamples\ttop-class-share")
-		for i, shard := range env.Fed.Clients {
+		for i := 0; i < env.NumClients(); i++ {
 			if i >= *show {
 				fmt.Printf("... (%d more clients)\n", env.NumClients()-*show)
 				break
 			}
+			shard := env.Fed.LeaseShard(i)
 			counts := shard.ClassCounts()
 			maxC := 0
 			for _, c := range counts {
@@ -66,6 +67,7 @@ func main() {
 				}
 			}
 			fmt.Printf("%d\t%d\t%.2f\n", i, shard.Len(), float64(maxC)/float64(shard.Len()))
+			env.Fed.ReleaseShard(i)
 		}
 	}
 }

@@ -14,6 +14,7 @@
 //	fedsim -experiment robust -attack signflip -fracs 0,0.2 -reducers mean,krum
 //	fedsim -experiment async -buffers 1,4,8 -staleexp 0.5
 //	fedsim -experiment table2 -reducer krum -attack scale -attackfrac 0.1
+//	fedsim -experiment fig7 -clients 1000000 -rsslimitmb 2048
 //
 // Profiles: tiny (seconds), small (minutes), paper (the scaled
 // paper-shaped setup; hours for the full grid). Every experiment grid
@@ -44,12 +45,20 @@
 // -inflights, with -staleexp damping stale arrivals; -buffer and
 // -inflight pin a single cell. Attacked and async runs keep the same
 // fixed-seed determinism as everything else.
+//
+// Scale: -clients overrides the client population N (the fig7 sweep
+// then runs that single N), -k overrides the activated clients per
+// round. Populations at or above the lazy cutoff synthesize shards on
+// demand from the partition seed, so N=10^6 holds only the LRU working
+// set resident; -rsslimitmb makes the run fail if peak RSS (VmHWM)
+// exceeds the ceiling — the memory-boundedness gate CI relies on.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -69,7 +78,9 @@ func main() {
 		iid        = flag.Bool("iid", true, "include the IID setting where applicable")
 		alphas     = flag.String("alphas", "0.5,0.8,0.9,0.95,0.99,0.999", "comma-separated alphas for table3/fig8")
 		rounds     = flag.Int("rounds", 0, "override the profile's round count (0 keeps profile default)")
-		clients    = flag.Int("clients", 0, "override the profile's clients per round K (0 keeps profile default)")
+		clients    = flag.Int("clients", 0, "override the profile's client population N (0 keeps profile default); fig7 sweeps exactly this N")
+		kFlag      = flag.Int("k", 0, "override the profile's activated clients per round K (0 keeps profile default)")
+		rssLimitMB = flag.Int("rsslimitmb", 0, "fail if peak RSS exceeds this many MiB (0 = no gate)")
 		seeds      = flag.Int("seeds", 0, "override the number of seeds (0 keeps profile default)")
 		parallel   = flag.Int("parallel", 0, "worker goroutines for client training/eval (0 = all cores, 1 = serial; results are identical)")
 		jobs       = flag.Int("jobs", 0, "concurrent experiment grid cells (0 = all cores, 1 = sequential; results are identical)")
@@ -100,7 +111,16 @@ func main() {
 		prof.Rounds = *rounds
 	}
 	if *clients > 0 {
-		prof.ClientsPerRound = *clients
+		prof.NumClients = *clients
+		if prof.ClientsPerRound > prof.NumClients {
+			prof.ClientsPerRound = prof.NumClients
+		}
+	}
+	if *kFlag > 0 {
+		prof.ClientsPerRound = *kFlag
+	}
+	if *rssLimitMB < 0 {
+		fatal(fmt.Errorf("-rsslimitmb %d must be non-negative", *rssLimitMB))
 	}
 	if *parallel < 0 {
 		fatal(fmt.Errorf("-parallel %d must be non-negative", *parallel))
@@ -218,6 +238,12 @@ func main() {
 			opts := experiments.DefaultFig7Options()
 			opts.Profile = prof
 			opts.Model = modelList[0]
+			if *clients > 0 {
+				opts.Ns = []int{*clients}
+			}
+			if *kFlag > 0 {
+				opts.KCap = *kFlag
+			}
 			res, err := experiments.RunFig7(opts)
 			if err != nil {
 				return err
@@ -348,6 +374,39 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	if peak, ok := peakRSSMB(); ok {
+		fmt.Printf("peak RSS: %d MiB\n", peak)
+		if *rssLimitMB > 0 && peak > *rssLimitMB {
+			fatal(fmt.Errorf("peak RSS %d MiB exceeds -rsslimitmb %d MiB", peak, *rssLimitMB))
+		}
+	} else if *rssLimitMB > 0 {
+		fatal(fmt.Errorf("-rsslimitmb set but peak RSS is unavailable on this platform"))
+	}
+}
+
+// peakRSSMB reports the process high-water resident set size in MiB.
+// Linux exposes it as VmHWM in /proc/self/status; elsewhere we fall
+// back to the Go heap's high-water mark (an undercount — it misses
+// non-heap memory — so the gate only hard-fails when VmHWM is
+// readable).
+func peakRSSMB() (int, bool) {
+	if b, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if !strings.HasPrefix(line, "VmHWM:") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if kb, err := strconv.Atoi(fields[1]); err == nil {
+					return kb / 1024, true
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int(ms.HeapSys / (1 << 20)), false
 }
 
 func profileByName(name string) (experiments.Profile, error) {

@@ -26,9 +26,11 @@ type CluSamp struct {
 	global  nn.ParamVector
 	recvBuf nn.ParamVector // recycled broadcast-decode destination
 
-	// updates[i] is client i's last update direction (yᵢ − x), nil until
-	// first participation.
-	updates []nn.ParamVector
+	// updates[i] is client i's last update direction (yᵢ − x), keyed by
+	// client id and absent until first participation — a map rather than
+	// a dense slice, so the gradient memory stays O(participants) for
+	// huge populations.
+	updates map[int]nn.ParamVector
 }
 
 // NewCluSamp returns a CluSamp instance.
@@ -44,7 +46,7 @@ func (a *CluSamp) Category() string { return "Client Grouping" }
 func (a *CluSamp) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
 	a.env, a.cfg, a.rng = env, cfg, rng
 	a.global = nn.FlattenParams(env.Model.New(rng.Split()).Params())
-	a.updates = make([]nn.ParamVector, env.NumClients())
+	a.updates = make(map[int]nn.ParamVector)
 	return nil
 }
 
@@ -55,7 +57,7 @@ func (a *CluSamp) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
 func (a *CluSamp) SelectClients(r int, rng *tensor.RNG, n, k int) []int {
 	var cold, warm []int
 	for i := 0; i < n; i++ {
-		if a.updates == nil || i >= len(a.updates) || a.updates[i] == nil {
+		if a.updates[i] == nil {
 			cold = append(cold, i)
 		} else {
 			warm = append(warm, i)

@@ -97,7 +97,7 @@ func (a *FedAvg) RoundComm(k int) fl.CommProfile {
 // uploading clients (aligned with uploads), and the client-visible
 // broadcast vector.
 func trainSelected(env *fl.Env, cfg fl.Config, rng *tensor.RNG, tr *fl.Transport, recvBuf *nn.ParamVector, init nn.ParamVector, selected []int, hooks fl.LocalSpec) (uploads []nn.ParamVector, weights []float64, clients []int, recv nn.ParamVector, err error) {
-	survivors := surviving(selected)
+	survivors := survivingTrainable(env, selected)
 	recv = tr.Broadcast(wireDst(tr, recvBuf, len(init)), survivors, init)
 	if hooks.Prox > 0 {
 		hooks.ProxRef = recv // clients anchor on what they received
@@ -127,6 +127,21 @@ func surviving(selected []int) []int {
 	out := make([]int, 0, len(selected))
 	for _, ci := range selected {
 		if ci >= 0 {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// survivingTrainable additionally drops clients without training data.
+// Only virtualized federations report untrainable clients (at
+// million-client scale empty shards are expected, not exceptional);
+// eager federations report every client trainable, so legacy runs still
+// surface the empty-shard training error and histories are unchanged.
+func survivingTrainable(env *fl.Env, selected []int) []int {
+	out := make([]int, 0, len(selected))
+	for _, ci := range selected {
+		if ci >= 0 && env.Fed.Trainable(ci) {
 			out = append(out, ci)
 		}
 	}

@@ -132,7 +132,7 @@ func (a *FedGen) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
 // and distillation alike.
 func (a *FedGen) Round(r int, selected []int) error {
 	tr := a.Transport()
-	survivors := surviving(selected)
+	survivors := survivingTrainable(a.env, selected)
 	recvGlobal := tr.Broadcast(wireDst(tr, &a.recvBuf, len(a.global)), survivors, a.global)
 	nn.FlattenParamsInto(a.genVec, a.gen.Params())
 	recvGen := tr.Broadcast(a.genVec, survivors, a.genVec)
@@ -141,9 +141,15 @@ func (a *FedGen) Round(r int, selected []int) error {
 	}
 	jobs := make([]fl.LocalJob, 0, len(survivors))
 	for _, ci := range survivors {
+		// Lease only while building the augmented copy; the copy owns its
+		// storage (or IS the leased shard when augmentation is off, which
+		// stays valid after release because shards are immutable).
+		shard := a.env.Fed.LeaseShard(ci)
+		aug := a.augmented(shard)
+		a.env.Fed.ReleaseShard(ci)
 		jobs = append(jobs, fl.LocalJob{
 			Client: ci,
-			Shard:  a.augmented(a.env.Fed.Clients[ci]),
+			Shard:  aug,
 			Spec: fl.LocalSpec{
 				Init: recvGlobal, Epochs: a.cfg.LocalEpochs, BatchSize: a.cfg.BatchSize,
 				LR: a.cfg.LR, Momentum: a.cfg.Momentum,

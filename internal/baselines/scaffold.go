@@ -22,8 +22,11 @@ type SCAFFOLD struct {
 	cfg    fl.Config
 	rng    *tensor.RNG
 	global nn.ParamVector
-	c      nn.ParamVector   // server control variate
-	ci     []nn.ParamVector // per-client control variates, lazily zero
+	c      nn.ParamVector // server control variate
+	// ci holds per-client control variates, keyed by client id and
+	// allocated on first participation — a map rather than a dense slice,
+	// so state stays O(participants) even for 10^6-client populations.
+	ci map[int]nn.ParamVector
 	// recvGlobalBuf / recvCBuf are the recycled broadcast-decode
 	// destinations for the two downlink payloads.
 	recvGlobalBuf, recvCBuf nn.ParamVector
@@ -43,7 +46,7 @@ func (a *SCAFFOLD) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
 	a.env, a.cfg, a.rng = env, cfg, rng
 	a.global = nn.FlattenParams(env.Model.New(rng.Split()).Params())
 	a.c = make(nn.ParamVector, len(a.global))
-	a.ci = make([]nn.ParamVector, env.NumClients())
+	a.ci = make(map[int]nn.ParamVector)
 	return nil
 }
 
@@ -64,7 +67,7 @@ func (a *SCAFFOLD) Init(env *fl.Env, cfg fl.Config, rng *tensor.RNG) error {
 func (a *SCAFFOLD) Round(r int, selected []int) error {
 	n := len(a.global)
 	tr := a.Transport()
-	survivors := surviving(selected)
+	survivors := survivingTrainable(a.env, selected)
 	recvGlobal := tr.Broadcast(wireDst(tr, &a.recvGlobalBuf, n), survivors, a.global)
 	recvC := tr.Broadcast(wireDst(tr, &a.recvCBuf, n), survivors, a.c)
 	jobs := make([]fl.LocalJob, 0, len(survivors))

@@ -246,7 +246,10 @@ func (f *FedCross) Round(r int, selected []int) error {
 	clients := make([]int, 0, k)
 	for i := 0; i < k; i++ {
 		ci := selected[assign[i]]
-		if ci < 0 {
+		// An untrainable client (virtualized federation, empty shard)
+		// degrades exactly like a dropout: its middleware model skips the
+		// round untrained.
+		if ci < 0 || !f.env.Fed.Trainable(ci) {
 			continue
 		}
 		var dst nn.ParamVector

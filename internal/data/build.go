@@ -8,6 +8,32 @@ import "fedcross/internal/tensor"
 func BuildVision(cfg VisionConfig, numClients int, het Heterogeneity, partitionSeed int64) *Federated {
 	train, test := GenerateVision(cfg)
 	rng := tensor.NewRNG(partitionSeed)
+	return &Federated{
+		Name:    visionName(cfg) + "/" + het.String(),
+		Clients: het.Partition(train, numClients, rng),
+		Test:    test,
+		Classes: cfg.Classes,
+	}
+}
+
+// BuildVisionLazy is BuildVision with the client shards virtualized
+// behind a Lazy source: partition boundaries are computed once from the
+// same seed (so shards are byte-identical to BuildVision's), but shard
+// tensors are synthesized only when leased, bounded by capacity resident
+// shards (≤ 0 selects data.DefaultLazyCapacity). This is the constructor
+// for million-client federations where the eager layout cannot fit.
+func BuildVisionLazy(cfg VisionConfig, numClients int, het Heterogeneity, partitionSeed int64, capacity int) *Federated {
+	train, test := GenerateVision(cfg)
+	rng := tensor.NewRNG(partitionSeed)
+	return &Federated{
+		Name:    visionName(cfg) + "/" + het.String(),
+		Source:  NewLazy(train, het.Assign(train, numClients, rng), capacity),
+		Test:    test,
+		Classes: cfg.Classes,
+	}
+}
+
+func visionName(cfg VisionConfig) string {
 	name := "synth-vision10"
 	if cfg.Classes != 10 {
 		name = "synth-vision100"
@@ -15,10 +41,5 @@ func BuildVision(cfg VisionConfig, numClients int, het Heterogeneity, partitionS
 			name = "synth-vision"
 		}
 	}
-	return &Federated{
-		Name:    name + "/" + het.String(),
-		Clients: het.Partition(train, numClients, rng),
-		Test:    test,
-		Classes: cfg.Classes,
-	}
+	return name
 }

@@ -1,0 +1,176 @@
+package data
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ClientSource virtualizes per-client training shards: a client is a pure
+// function of (partition seed, id) until it is actually leased, so a
+// 10^6-client federation holds only the O(clients-in-flight) working set
+// resident. Shard leases pair with Release; Outstanding exposes the live
+// lease count so engines can assert zero leaks on error paths.
+//
+// Lease discipline: every Shard(id) must be matched by exactly one
+// Release(id). The returned dataset is valid until its release and must
+// not be mutated — engines that need a writable copy (label-flip
+// poisoning) copy the leased shard first.
+type ClientSource interface {
+	// NumClients returns the number of clients the source can produce.
+	NumClients() int
+	// Size returns client id's sample count WITHOUT synthesizing the
+	// shard — aggregation weights and trainability checks stay O(1).
+	Size(id int) int
+	// Shard leases client id's shard, synthesizing it if necessary.
+	Shard(id int) *Dataset
+	// Release returns a lease taken by Shard.
+	Release(id int)
+	// Outstanding returns the number of unreleased leases.
+	Outstanding() int
+}
+
+// Materialized wraps today's eager []*Dataset slices in the ClientSource
+// contract: Shard is an O(1) pointer return, bit-identical to indexing
+// Federated.Clients directly.
+type Materialized struct {
+	shards      []*Dataset
+	outstanding atomic.Int64
+}
+
+// NewMaterialized builds a source over pre-built shards.
+func NewMaterialized(shards []*Dataset) *Materialized {
+	return &Materialized{shards: shards}
+}
+
+// NumClients returns the shard count.
+func (m *Materialized) NumClients() int { return len(m.shards) }
+
+// Size returns shard id's sample count.
+func (m *Materialized) Size(id int) int { return m.shards[id].Len() }
+
+// Shard leases the pre-built shard.
+func (m *Materialized) Shard(id int) *Dataset {
+	m.outstanding.Add(1)
+	return m.shards[id]
+}
+
+// Release returns a lease.
+func (m *Materialized) Release(id int) {
+	if m.outstanding.Add(-1) < 0 {
+		panic(fmt.Sprintf("data: Materialized.Release(%d) without a matching Shard lease", id))
+	}
+}
+
+// Outstanding returns the live lease count.
+func (m *Materialized) Outstanding() int { return int(m.outstanding.Load()) }
+
+// Lazy synthesizes shards on demand from an Assignment over a shared
+// immutable base dataset, caching them in a bounded lease-aware LRU: a
+// leased entry is pinned (never evicted), an unleased entry is evicted in
+// least-recently-used order once the cache exceeds its capacity. Shard
+// synthesis copies rows out of the base (Dataset.Subset), so cached
+// shards never alias base storage and the base stays immutable — the same
+// copy-on-lease structure the experiments EnvCache uses for environments.
+type Lazy struct {
+	base     *Dataset
+	asg      *Assignment
+	capacity int
+
+	mu          sync.Mutex
+	cache       map[int]*lazyShard
+	tick        uint64
+	outstanding int64
+}
+
+type lazyShard struct {
+	ds     *Dataset
+	leases int
+	used   uint64
+}
+
+// DefaultLazyCapacity bounds the shard cache when the caller passes a
+// non-positive capacity.
+const DefaultLazyCapacity = 256
+
+// NewLazy builds a lazy source over base with the given assignment.
+// capacity bounds the number of resident shards (≤ 0 selects
+// DefaultLazyCapacity); leased shards can push the resident count past
+// the bound, which shrinks back as leases are released.
+func NewLazy(base *Dataset, asg *Assignment, capacity int) *Lazy {
+	if capacity <= 0 {
+		capacity = DefaultLazyCapacity
+	}
+	return &Lazy{base: base, asg: asg, capacity: capacity, cache: map[int]*lazyShard{}}
+}
+
+// NumClients returns the assignment's client count.
+func (l *Lazy) NumClients() int { return l.asg.NumClients() }
+
+// Size returns client id's sample count from assignment metadata alone.
+func (l *Lazy) Size(id int) int { return l.asg.Size(id) }
+
+// Shard leases client id's shard, synthesizing it into the cache on a
+// miss and evicting the least-recently-used unleased entry when over
+// capacity.
+func (l *Lazy) Shard(id int) *Dataset {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tick++
+	if e, ok := l.cache[id]; ok {
+		e.leases++
+		e.used = l.tick
+		l.outstanding++
+		return e.ds
+	}
+	if len(l.cache) >= l.capacity {
+		l.evictLocked()
+	}
+	e := &lazyShard{ds: l.base.Subset(l.asg.Rows(id)), leases: 1, used: l.tick}
+	l.cache[id] = e
+	l.outstanding++
+	return e.ds
+}
+
+// evictLocked drops the least-recently-used unleased entry, if any.
+func (l *Lazy) evictLocked() {
+	victim, best := -1, uint64(0)
+	for id, e := range l.cache {
+		if e.leases > 0 {
+			continue
+		}
+		if victim < 0 || e.used < best {
+			victim, best = id, e.used
+		}
+	}
+	if victim >= 0 {
+		delete(l.cache, victim)
+	}
+}
+
+// Release returns a lease taken by Shard.
+func (l *Lazy) Release(id int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.cache[id]
+	if !ok || e.leases <= 0 {
+		panic(fmt.Sprintf("data: Lazy.Release(%d) without a matching Shard lease", id))
+	}
+	e.leases--
+	l.outstanding--
+}
+
+// Outstanding returns the live lease count.
+func (l *Lazy) Outstanding() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.outstanding)
+}
+
+// Resident returns the number of shards currently synthesized — the
+// cache-pressure observable the scale tests assert on.
+func (l *Lazy) Resident() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.cache)
+}

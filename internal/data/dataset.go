@@ -117,11 +117,18 @@ func (d *Dataset) ClassCounts() []int {
 }
 
 // Federated couples per-client training shards with a shared test set.
+// Client data lives either in the eager Clients slice (legacy, always
+// resident) or behind a virtualizing Source; when Source is non-nil it
+// wins and Clients stays nil. All consumers go through the accessor
+// methods below, which collapse both layouts onto the lease discipline.
 type Federated struct {
 	// Name identifies the dataset in reports.
 	Name string
-	// Clients holds one training shard per client.
+	// Clients holds one training shard per client (eager layout). Nil
+	// when Source is set.
 	Clients []*Dataset
+	// Source, when non-nil, produces client shards on demand.
+	Source ClientSource
 	// Test is the held-out evaluation set shared by all methods.
 	Test *Dataset
 	// Classes is the label-space size.
@@ -129,29 +136,83 @@ type Federated struct {
 }
 
 // NumClients returns the number of client shards.
-func (f *Federated) NumClients() int { return len(f.Clients) }
+func (f *Federated) NumClients() int {
+	if f.Source != nil {
+		return f.Source.NumClients()
+	}
+	return len(f.Clients)
+}
+
+// Size returns client ci's sample count without materializing its shard.
+func (f *Federated) Size(ci int) int {
+	if f.Source != nil {
+		return f.Source.Size(ci)
+	}
+	return f.Clients[ci].Len()
+}
+
+// LeaseShard returns client ci's shard, synthesizing it when the data is
+// virtualized. Every call must be paired with ReleaseShard(ci) once the
+// shard is no longer used; for the eager layout the lease is a plain
+// index and release is a no-op, so legacy behavior is unchanged.
+func (f *Federated) LeaseShard(ci int) *Dataset {
+	if f.Source != nil {
+		return f.Source.Shard(ci)
+	}
+	return f.Clients[ci]
+}
+
+// ReleaseShard returns a lease taken by LeaseShard.
+func (f *Federated) ReleaseShard(ci int) {
+	if f.Source != nil {
+		f.Source.Release(ci)
+	}
+}
+
+// OutstandingLeases reports the source's live lease count (always zero
+// for the eager layout).
+func (f *Federated) OutstandingLeases() int {
+	if f.Source != nil {
+		return f.Source.Outstanding()
+	}
+	return 0
+}
+
+// Trainable reports whether client ci holds at least one sample. Eager
+// federations report every client trainable so empty shards still
+// surface the legacy "empty shard" training error; virtualized
+// federations (where at million-client scale empty shards are expected,
+// not exceptional) are filtered out of selection instead.
+func (f *Federated) Trainable(ci int) bool {
+	return f.Source == nil || f.Source.Size(ci) > 0
+}
 
 // TotalTrainSamples returns the number of training samples across all
-// clients.
+// clients. It reads metadata sizes only — computing aggregation weights
+// never forces shard materialization.
 func (f *Federated) TotalTrainSamples() int {
 	n := 0
-	for _, c := range f.Clients {
-		n += c.Len()
+	for ci := 0; ci < f.NumClients(); ci++ {
+		n += f.Size(ci)
 	}
 	return n
 }
 
 // DistributionMatrix returns counts[class][client], the Fig-3 heat-map
-// data.
+// data. Shards are leased one at a time, so a virtualized federation
+// only ever holds its LRU working set resident.
 func (f *Federated) DistributionMatrix() [][]int {
+	n := f.NumClients()
 	m := make([][]int, f.Classes)
 	for c := range m {
-		m[c] = make([]int, len(f.Clients))
+		m[c] = make([]int, n)
 	}
-	for ci, shard := range f.Clients {
+	for ci := 0; ci < n; ci++ {
+		shard := f.LeaseShard(ci)
 		for _, y := range shard.Y {
 			m[y][ci]++
 		}
+		f.ReleaseShard(ci)
 	}
 	return m
 }

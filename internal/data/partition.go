@@ -13,98 +13,19 @@ import (
 // sample is assigned to exactly one client; clients that would end up
 // empty are topped up with one sample stolen from the largest shard so
 // every client can train.
+// Both eager partitioners are thin wrappers over the Assignment metadata
+// builders (assignment.go): compute boundaries once, then materialize
+// every shard. The split keeps one RNG-consumption order shared with the
+// Lazy client source, which is what makes eager and lazy federations
+// bit-identical for the same partition seed.
 func DirichletPartition(src *Dataset, numClients int, beta float64, rng *tensor.RNG) []*Dataset {
-	if numClients <= 0 {
-		panic(fmt.Sprintf("data: DirichletPartition: numClients %d", numClients))
-	}
-	if beta <= 0 {
-		panic(fmt.Sprintf("data: DirichletPartition: beta %v must be positive", beta))
-	}
-	assign := make([][]int, numClients)
-
-	// Per-class index pools, shuffled.
-	byClass := make([][]int, src.Classes)
-	for i, y := range src.Y {
-		byClass[y] = append(byClass[y], i)
-	}
-	for _, pool := range byClass {
-		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
-	}
-
-	for _, pool := range byClass {
-		if len(pool) == 0 {
-			continue
-		}
-		p := rng.Dirichlet(beta, numClients)
-		// Convert proportions to cumulative slot boundaries.
-		cum := 0.0
-		start := 0
-		for ci := 0; ci < numClients; ci++ {
-			cum += p[ci]
-			end := int(cum*float64(len(pool)) + 0.5)
-			if ci == numClients-1 {
-				end = len(pool)
-			}
-			if end > len(pool) {
-				end = len(pool)
-			}
-			if end > start {
-				assign[ci] = append(assign[ci], pool[start:end]...)
-			}
-			start = end
-		}
-	}
-
-	topUpEmpty(assign, rng)
-
-	out := make([]*Dataset, numClients)
-	for ci := range assign {
-		out[ci] = src.Subset(assign[ci])
-	}
-	return out
+	return AssignDirichlet(src, numClients, beta, rng).Materialize(src)
 }
 
 // IIDPartition deals the (shuffled) samples round-robin so each client
 // receives an equally sized, class-balanced shard.
 func IIDPartition(src *Dataset, numClients int, rng *tensor.RNG) []*Dataset {
-	if numClients <= 0 {
-		panic(fmt.Sprintf("data: IIDPartition: numClients %d", numClients))
-	}
-	perm := rng.Perm(src.Len())
-	assign := make([][]int, numClients)
-	for i, idx := range perm {
-		ci := i % numClients
-		assign[ci] = append(assign[ci], idx)
-	}
-	topUpEmpty(assign, rng)
-	out := make([]*Dataset, numClients)
-	for ci := range assign {
-		out[ci] = src.Subset(assign[ci])
-	}
-	return out
-}
-
-// topUpEmpty moves one sample from the largest shard into any empty shard
-// so every client can run at least one training step. It preserves the
-// exactly-once assignment invariant.
-func topUpEmpty(assign [][]int, rng *tensor.RNG) {
-	for ci := range assign {
-		if len(assign[ci]) > 0 {
-			continue
-		}
-		largest := 0
-		for cj := range assign {
-			if len(assign[cj]) > len(assign[largest]) {
-				largest = cj
-			}
-		}
-		if len(assign[largest]) <= 1 {
-			continue // nothing to steal without emptying the donor
-		}
-		k := rng.Intn(len(assign[largest]))
-		assign[ci] = append(assign[ci], assign[largest][k])
-		assign[largest] = append(assign[largest][:k], assign[largest][k+1:]...)
-	}
+	return AssignIID(src, numClients, rng).Materialize(src)
 }
 
 // Heterogeneity names a client-data distribution setting, mirroring the

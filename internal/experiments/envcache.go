@@ -94,7 +94,11 @@ func (c *EnvCache) Lease(p Profile, dataset, model string, het data.Heterogeneit
 }
 
 // leaseCopy clones the environment structure (Env, Federated, the
-// Clients slice) while sharing the immutable datasets underneath.
+// Clients slice) while sharing the immutable datasets underneath. A
+// source-backed federation (nil Clients) shares its ClientSource through
+// the struct copy: the source is concurrency-safe and its shards
+// immutable, so concurrent grid cells lease shards from one LRU rather
+// than duplicating the virtualized data.
 func leaseCopy(e *fl.Env) *fl.Env {
 	fed := *e.Fed
 	fed.Clients = append([]*data.Dataset(nil), e.Fed.Clients...)

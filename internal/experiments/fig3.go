@@ -82,15 +82,17 @@ func skewScore(fed *data.Federated) float64 {
 	uniform := 1.0 / float64(fed.Classes)
 	total := 0.0
 	n := 0
-	for _, shard := range fed.Clients {
-		if shard.Len() == 0 {
+	for ci := 0; ci < fed.NumClients(); ci++ {
+		if fed.Size(ci) == 0 {
 			continue
 		}
+		shard := fed.LeaseShard(ci)
 		counts := shard.ClassCounts()
 		for _, c := range counts {
 			d := float64(c)/float64(shard.Len()) - uniform
 			total += d * d
 		}
+		fed.ReleaseShard(ci)
 		n++
 	}
 	if n == 0 {

@@ -213,6 +213,11 @@ type Fig7Options struct {
 	// TotalSamples fixes the corpus size across N (paper behaviour).
 	TotalSamples int
 	Algorithms   []string
+	// KCap caps the activated clients per round (default 100): without it
+	// 10% participation at N=10^6 would mean 10^5 concurrent middleware
+	// models. All historical sweeps (N ≤ 1000) sit at or under the cap,
+	// so their K is unchanged.
+	KCap int
 }
 
 // DefaultFig7Options runs a small N sweep.
@@ -230,6 +235,8 @@ func DefaultFig7Options() Fig7Options {
 // Fig7Cell is the outcome of one N setting.
 type Fig7Cell struct {
 	N int
+	// K is the activated clients per round actually used for this cell.
+	K int
 	// Best maps algorithm to best accuracy; RoundsTo40 maps algorithm to
 	// the first round reaching 40% accuracy (-1 if never) — a
 	// convergence-speed proxy.
@@ -253,6 +260,9 @@ func RunFig7(opts Fig7Options) (*Fig7Result, error) {
 	if len(opts.Algorithms) == 0 {
 		opts.Algorithms = AlgorithmNames()
 	}
+	if opts.KCap == 0 {
+		opts.KCap = 100
+	}
 	het := data.Heterogeneity{Beta: opts.Beta}
 	seed := firstSeed(opts.Profile)
 	type outcome struct {
@@ -266,7 +276,7 @@ func RunFig7(opts Fig7Options) (*Fig7Result, error) {
 		name := opts.Algorithms[i%len(opts.Algorithms)]
 		p := opts.Profile
 		p.NumClients = n
-		p.ClientsPerRound = maxInt(2, n/10)
+		p.ClientsPerRound = minInt(maxInt(2, n/10), opts.KCap)
 		p.VisionTrainPerClass = maxInt(2, opts.TotalSamples/10)
 		hist, _, _, err := s.runOne(p, "vision10", opts.Model, het, seed,
 			func() (fl.Algorithm, error) { return NewAlgorithm(name) })
@@ -281,7 +291,7 @@ func RunFig7(opts Fig7Options) (*Fig7Result, error) {
 	}
 	res := &Fig7Result{}
 	for ni, n := range opts.Ns {
-		cell := Fig7Cell{N: n, Best: map[string]float64{}, RoundsTo40: map[string]int{}}
+		cell := Fig7Cell{N: n, K: minInt(maxInt(2, n/10), opts.KCap), Best: map[string]float64{}, RoundsTo40: map[string]int{}}
 		for ai, name := range opts.Algorithms {
 			o := outcomes[ni*len(opts.Algorithms)+ai]
 			cell.Best[name] = o.best
@@ -309,7 +319,11 @@ func (r *Fig7Result) Render(w io.Writer) error {
 	}
 	t := Table{Title: "Figure 7 — accuracy vs total clients N (10% participation, fixed data budget)", Header: header}
 	for _, c := range r.Cells {
-		row := []string{fmt.Sprintf("%d", c.N), fmt.Sprintf("%d", maxInt(2, c.N/10))}
+		k := c.K
+		if k == 0 { // cells recorded before K was stored
+			k = maxInt(2, c.N/10)
+		}
+		row := []string{fmt.Sprintf("%d", c.N), fmt.Sprintf("%d", k)}
 		for _, n := range names {
 			row = append(row, fmt.Sprintf("%.4f", c.Best[n]), fmt.Sprintf("%d", c.RoundsTo40[n]))
 		}

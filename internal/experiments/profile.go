@@ -218,6 +218,10 @@ func (p Profile) BuildEnv(dataset, model string, het data.Heterogeneity, seed in
 		if err != nil {
 			return nil, err
 		}
+		if p.NumClients >= LazyClientCutoff {
+			cap := clampInt(4*p.ClientsPerRound, 64, 4096)
+			return &fl.Env{Fed: data.BuildVisionLazy(cfg, p.NumClients, het, seed+1000, cap), Model: fac}, nil
+		}
 		return &fl.Env{Fed: data.BuildVision(cfg, p.NumClients, het, seed+1000), Model: fac}, nil
 
 	case "femnist":
@@ -281,9 +285,33 @@ func visionModel(name string, classes int) (models.Factory, error) {
 	}
 }
 
+// LazyClientCutoff is the population size at which BuildEnv switches the
+// vision datasets from eager shard materialization to the lazy
+// ClientSource: below it the whole federation fits comfortably in memory
+// and stays bit-identical with every historical run; at or above it only
+// the LRU working set (sized to a few rounds of selections) is resident.
+const LazyClientCutoff = 512
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a
 	}
 	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }

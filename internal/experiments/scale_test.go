@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fedcross/internal/data"
+)
+
+// TestBuildEnvLazyCutoff: vision environments switch to the virtualized
+// ClientSource exactly at LazyClientCutoff clients, and stay on the
+// historical eager layout below it.
+func TestBuildEnvLazyCutoff(t *testing.T) {
+	p := TinyProfile()
+	p.ClientsPerRound = 8
+
+	p.NumClients = LazyClientCutoff - 1
+	env, err := p.BuildEnv("vision10", "mlp", data.Heterogeneity{Beta: 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Fed.Source != nil {
+		t.Fatal("below the cutoff the federation must stay eager")
+	}
+	if env.NumClients() != LazyClientCutoff-1 {
+		t.Fatalf("NumClients = %d", env.NumClients())
+	}
+
+	p.NumClients = LazyClientCutoff
+	env, err = p.BuildEnv("vision10", "mlp", data.Heterogeneity{Beta: 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lz, ok := env.Fed.Source.(*data.Lazy)
+	if !ok {
+		t.Fatalf("at the cutoff the federation must be lazy, got %T", env.Fed.Source)
+	}
+	if env.NumClients() != LazyClientCutoff {
+		t.Fatalf("NumClients = %d", env.NumClients())
+	}
+	if lz.Resident() != 0 {
+		t.Fatalf("construction synthesized %d shards", lz.Resident())
+	}
+}
+
+// TestRunFig7KCap: the participation cap bounds K for huge N (the cell
+// records the K it used and Render reports it), while small sweeps keep
+// the historical 10% rule.
+func TestRunFig7KCap(t *testing.T) {
+	p := TinyProfile()
+	p.Rounds = 2
+	p.EvalEvery = 1
+	opts := Fig7Options{
+		Profile: p, Ns: []int{30}, Model: "mlp", Beta: 0.5,
+		TotalSamples: 300, Algorithms: []string{"fedavg"}, KCap: 2,
+	}
+	res, err := RunFig7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 || res.Cells[0].K != 2 {
+		t.Fatalf("cells %+v, want one cell with K=2", res.Cells)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fedavg") {
+		t.Fatalf("render missing algorithm column:\n%s", sb.String())
+	}
+
+	// Default cap leaves the historical small-N formula untouched.
+	if got := minInt(maxInt(2, 40/10), 100); got != 4 {
+		t.Fatalf("small-N K = %d, want 4", got)
+	}
+}
+
+// TestRunFig7LazyPopulation drives a full Fig-7 cell over a population
+// beyond the lazy cutoff: the scheduler, env cache and engines all run
+// against synthesized shards.
+func TestRunFig7LazyPopulation(t *testing.T) {
+	p := TinyProfile()
+	p.Rounds = 2
+	p.EvalEvery = 2
+	opts := Fig7Options{
+		Profile: p, Ns: []int{LazyClientCutoff + 88}, Model: "mlp", Beta: 0.5,
+		TotalSamples: 300, Algorithms: []string{"fedavg"}, KCap: 6,
+	}
+	res, err := RunFig7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0]
+	if c.K != 6 {
+		t.Fatalf("K = %d, want the cap 6", c.K)
+	}
+	if c.Best["fedavg"] < 0 || c.Best["fedavg"] > 1 {
+		t.Fatalf("best accuracy %v out of range", c.Best["fedavg"])
+	}
+}

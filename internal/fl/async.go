@@ -84,10 +84,10 @@ func (o AsyncOptions) resolve(cfg Config) AsyncOptions {
 // asyncJob is one dispatched client activation in flight between fetch
 // and arrival.
 type asyncJob struct {
-	seq     int     // dispatch order, the arrival tie-break
+	seq     int // dispatch order, the arrival tie-break
 	client  int
-	version int     // server version at fetch time
-	arrival float64 // simulated arrival instant (seconds)
+	version int            // server version at fetch time
+	arrival float64        // simulated arrival instant (seconds)
 	fetch   nn.ParamVector // snapshot the client trains from (engine-owned)
 	trained nn.ParamVector // filled by the parallel training pass
 	done    bool
@@ -133,9 +133,6 @@ func RunAsync(env *Env, cfg Config, opts AsyncOptions) (*History, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("fl: RunAsync: environment has no clients")
 	}
-	if opts.InFlight > n {
-		opts.InFlight = n
-	}
 	codec, err := nn.CodecByName(cfg.Transport.Codec)
 	if err != nil {
 		return nil, err
@@ -155,6 +152,7 @@ func RunAsync(env *Env, cfg Config, opts AsyncOptions) (*History, error) {
 	adv := NewAdversary(cfg.Adversary, n, advRNG)
 	adv.BeginRound()
 	env = adv.ShadowEnv(env)
+	n = env.NumClients() // virtual sybils extend the shadow population
 
 	global := nn.FlattenParams(env.Model.New(initRNG.Split()).Params())
 	dim := len(global)
@@ -175,9 +173,21 @@ func RunAsync(env *Env, cfg Config, opts AsyncOptions) (*History, error) {
 
 	// available is the sorted pool of clients not currently in flight, so
 	// the uniform draw below is a pure function of the selection stream.
-	available := make([]int, n)
-	for i := range available {
-		available[i] = i
+	// Virtualized federations admit only trainable (non-empty) clients —
+	// at million-client scale empty shards are expected, not exceptional;
+	// eager federations keep every client, preserving the legacy
+	// empty-shard training error.
+	available := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if env.Fed.Trainable(i) {
+			available = append(available, i)
+		}
+	}
+	if len(available) == 0 {
+		return nil, fmt.Errorf("fl: RunAsync: no trainable clients")
+	}
+	if opts.InFlight > len(available) {
+		opts.InFlight = len(available)
 	}
 
 	hist := &History{Algorithm: "fedbuff"}

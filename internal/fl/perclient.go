@@ -42,10 +42,13 @@ func EvaluatePerClient(env *Env, vec nn.ParamVector, batchSize int, w Workers) (
 	}
 	clientAccs := make([]float64, n)
 	err := parallelForErr(n, w, func(ci int) error {
-		shard := env.Fed.Clients[ci]
-		if shard.Len() == 0 {
+		if env.Fed.Size(ci) == 0 {
 			return nil
 		}
+		// Lease the shard only for this client's evaluation, releasing on
+		// every exit path so a failed pass cannot strand a lease.
+		shard := env.Fed.LeaseShard(ci)
+		defer env.Fed.ReleaseShard(ci)
 		acc, _, err := evaluate(env.Model, vec, shard, batchSize, Limit(1))
 		if err != nil {
 			return fmt.Errorf("fl: EvaluatePerClient client %d: %w", ci, err)
@@ -60,14 +63,15 @@ func EvaluatePerClient(env *Env, vec nn.ParamVector, batchSize int, w Workers) (
 	rep := &PerClientReport{Worst: math.Inf(1)}
 	totalSamples := 0
 	var accs []float64
-	for ci, shard := range env.Fed.Clients {
-		if shard.Len() == 0 {
+	for ci := 0; ci < n; ci++ {
+		sz := env.Fed.Size(ci)
+		if sz == 0 {
 			continue
 		}
 		acc := clientAccs[ci]
-		rep.Evals = append(rep.Evals, ClientEval{Client: ci, Acc: acc, Samples: shard.Len()})
-		rep.Mean += acc * float64(shard.Len())
-		totalSamples += shard.Len()
+		rep.Evals = append(rep.Evals, ClientEval{Client: ci, Acc: acc, Samples: sz})
+		rep.Mean += acc * float64(sz)
+		totalSamples += sz
 		if acc < rep.Worst {
 			rep.Worst = acc
 		}

@@ -24,7 +24,8 @@ import (
 // on the job itself, never on scheduling — so results are bit-identical
 // at every parallelism level.
 type LocalJob struct {
-	// Client indexes env.Fed.Clients; ignored when Shard is set.
+	// Client identifies the shard to lease from env.Fed; ignored when
+	// Shard is set.
 	Client int
 	// Shard, when non-nil, overrides the client's shard (FedGen trains on
 	// generator-augmented copies).
@@ -48,7 +49,10 @@ func TrainAll(env *Env, jobs []LocalJob, w Workers) ([]LocalResult, error) {
 		job := jobs[i]
 		shard := job.Shard
 		if shard == nil {
-			shard = env.Fed.Clients[job.Client]
+			// Lease for exactly the duration of the local pass, so a
+			// virtualized federation keeps only in-flight shards pinned.
+			shard = env.Fed.LeaseShard(job.Client)
+			defer env.Fed.ReleaseShard(job.Client)
 		}
 		res, err := TrainLocal(env.Model, shard, job.Spec, job.RNG)
 		if err != nil {

@@ -132,17 +132,124 @@ func finiteVector(v nn.ParamVector) bool {
 // point of zero — one unbounded attacker moves the aggregate arbitrarily
 // far — and exists as the reference the robust rules are measured
 // against.
-type MeanReducer struct{}
+type MeanReducer struct {
+	// W is the worker allowance for the tree-reduce fan-out over client
+	// groups. The zero value fans out unbudgeted, which is still
+	// bit-deterministic (see treeMean).
+	W Workers
+}
 
 // Name implements Reducer.
 func (MeanReducer) Name() string { return "mean" }
 
-// Reduce implements Reducer, bit-identical to nn.WeightedMeanVectors.
-func (MeanReducer) Reduce(uploads []nn.ParamVector, weights []float64) nn.ParamVector {
-	if weights == nil {
-		return nn.MeanVectors(uploads)
+// SetWorkers implements WorkersSetter (pointer receiver, so the value
+// MeanReducer{} used by the nil-reducer fallback keeps its zero
+// allowance and legacy algorithms that branch on cfg.Reducer != nil are
+// unaffected).
+func (r *MeanReducer) SetWorkers(w Workers) { r.W = w }
+
+// Reduce implements Reducer. Up to treeLeaf uploads it is bit-identical
+// to nn.WeightedMeanVectors (the legacy serial fold); past that it
+// switches to the deterministic group tree-reduce.
+func (r MeanReducer) Reduce(uploads []nn.ParamVector, weights []float64) nn.ParamVector {
+	return treeMean(uploads, weights, r.W)
+}
+
+// treeLeaf is the client-group size at the tree-reduce's leaves. Every
+// configuration up to treeLeaf uploads per round takes the single-group
+// fast path, which is the exact legacy serial fold — so all historical
+// runs (K ≤ 64) are reproduced bit-for-bit.
+const treeLeaf = 64
+
+// treeMaxGroups caps the leaf-group count; beyond it the leaves grow
+// instead, keeping the partial-vector footprint bounded at
+// treeMaxGroups·dim even for 10^5 uploads.
+const treeMaxGroups = 128
+
+// treeMean is the worker-budgeted tree-reduce behind MeanReducer and the
+// nil-reducer fallback: uploads are cut into fixed contiguous groups of
+// treeLeaf, each group folds serially in index order into one partial,
+// and partials combine pairwise (partials[2j] += partials[2j+1]) level by
+// level until one remains.
+//
+// Determinism contract: the tree shape — group boundaries and pair
+// assignments — depends only on len(uploads), never on the worker count.
+// Workers decide WHO computes a node, not WHAT it sums, so the result is
+// bit-identical at any fan-out (and to the serial legacy fold whenever
+// the inputs fit one group).
+func treeMean(uploads []nn.ParamVector, weights []float64, w Workers) nn.ParamVector {
+	k := len(uploads)
+	leaf := treeLeaf
+	if g := (k + leaf - 1) / leaf; g > treeMaxGroups {
+		leaf = (k + treeMaxGroups - 1) / treeMaxGroups
 	}
-	return nn.WeightedMeanVectors(uploads, weights)
+	groups := (k + leaf - 1) / leaf
+	if groups <= 1 {
+		if weights == nil {
+			return nn.MeanVectors(uploads)
+		}
+		return nn.WeightedMeanVectors(uploads, weights)
+	}
+	dim := len(uploads[0])
+	total := 0.0
+	if weights != nil {
+		for _, x := range weights {
+			total += x
+		}
+		if total == 0 {
+			weights = nil // all-zero weights degrade to the plain mean, as WeightedMeanVectors does
+		}
+	}
+	partials := make([]nn.ParamVector, groups)
+	parallelForWorker(groups, w, func(_, g int) {
+		lo, hi := g*leaf, (g+1)*leaf
+		if hi > k {
+			hi = k
+		}
+		p := make(nn.ParamVector, dim)
+		if weights == nil {
+			copy(p, uploads[lo])
+			for _, v := range uploads[lo+1 : hi] {
+				for i := range p {
+					p[i] += v[i]
+				}
+			}
+		} else {
+			for j := lo; j < hi; j++ {
+				wj := weights[j] / total
+				v := uploads[j]
+				for i := range p {
+					p[i] += wj * v[i]
+				}
+			}
+		}
+		partials[g] = p
+	})
+	for len(partials) > 1 {
+		pairs := len(partials) / 2
+		parallelForWorker(pairs, w, func(_, j int) {
+			a, b := partials[2*j], partials[2*j+1]
+			for i := range a {
+				a[i] += b[i]
+			}
+		})
+		next := partials[:0]
+		for j := 0; j < pairs; j++ {
+			next = append(next, partials[2*j])
+		}
+		if len(partials)%2 == 1 {
+			next = append(next, partials[len(partials)-1])
+		}
+		partials = next
+	}
+	out := partials[0]
+	if weights == nil {
+		inv := 1 / float64(k)
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+	return out
 }
 
 // reduceChunk is the coordinate-chunk width the coordinate-wise rules

@@ -146,6 +146,16 @@ func Run(algo Algorithm, env *Env, cfg Config) (*History, error) {
 	// carry flipped labels. Every other attack corrupts uploads at the
 	// transport seam instead.
 	env = adv.ShadowEnv(env)
+	// Virtual sybils extend the shadow population past n, so selection
+	// and per-client state must size against the shadow view. Without
+	// them the recount is a no-op.
+	if m := env.NumClients(); m != n {
+		n = m
+		k = cfg.ClientsPerRound
+		if k > n {
+			k = n
+		}
+	}
 	if ws, ok := cfg.Reducer.(WorkersSetter); ok {
 		ws.SetWorkers(cfg.Allowance())
 	}

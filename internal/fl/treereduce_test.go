@@ -1,0 +1,127 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+func randomUploads(k, dim int, seed int64) ([]nn.ParamVector, []float64) {
+	rng := tensor.NewRNG(seed)
+	ups := make([]nn.ParamVector, k)
+	ws := make([]float64, k)
+	for i := range ups {
+		ups[i] = make(nn.ParamVector, dim)
+		for j := range ups[i] {
+			ups[i][j] = rng.Normal(0, 1)
+		}
+		ws[i] = float64(1 + rng.Intn(50))
+	}
+	return ups, ws
+}
+
+// TestTreeMeanLegacyFastPath: any cohort that fits one leaf group — every
+// historical configuration, K ≤ 64 — must reproduce the serial
+// nn.MeanVectors / nn.WeightedMeanVectors fold bit-for-bit, at any worker
+// allowance.
+func TestTreeMeanLegacyFastPath(t *testing.T) {
+	for _, k := range []int{1, 2, 10, treeLeaf} {
+		ups, ws := randomUploads(k, 257, int64(k))
+		for _, w := range []Workers{{}, Limit(1), Limit(7)} {
+			r := MeanReducer{W: w}
+			got := r.Reduce(ups, nil)
+			want := nn.MeanVectors(ups)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d unweighted coord %d: %v != legacy %v", k, i, got[i], want[i])
+				}
+			}
+			got = r.Reduce(ups, ws)
+			want = nn.WeightedMeanVectors(ups, ws)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d weighted coord %d: %v != legacy %v", k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTreeMeanFanoutInvariance: past the leaf size the tree engages; its
+// shape is fixed by len(uploads), so the result is bit-identical at every
+// worker count — the aggregation half of the determinism contract.
+func TestTreeMeanFanoutInvariance(t *testing.T) {
+	for _, k := range []int{treeLeaf + 1, 3 * treeLeaf, 300, treeLeaf*treeMaxGroups + 5} {
+		dim := 61
+		ups, ws := randomUploads(k, dim, int64(k))
+		for _, weights := range [][]float64{nil, ws} {
+			var ref nn.ParamVector
+			for _, w := range []Workers{Limit(1), Limit(2), Limit(5), {}} {
+				r := MeanReducer{W: w}
+				got := r.Reduce(ups, weights)
+				if ref == nil {
+					ref = got
+					continue
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("k=%d coord %d: fan-out changed the bits (%v vs %v)", k, i, got[i], ref[i])
+					}
+				}
+			}
+			// The tree reorders float additions, so it need not be
+			// bit-equal to the serial fold — but it must agree to
+			// accumulated rounding error.
+			var serial nn.ParamVector
+			if weights == nil {
+				serial = nn.MeanVectors(ups)
+			} else {
+				serial = nn.WeightedMeanVectors(ups, weights)
+			}
+			for i := range serial {
+				if math.Abs(ref[i]-serial[i]) > 1e-9 {
+					t.Fatalf("k=%d coord %d: tree %v vs serial %v", k, i, ref[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTreeMeanZeroWeights: an all-zero weight vector degrades to the
+// plain mean, matching nn.WeightedMeanVectors' documented behaviour, on
+// both sides of the leaf threshold.
+func TestTreeMeanZeroWeights(t *testing.T) {
+	for _, k := range []int{8, 200} {
+		ups, _ := randomUploads(k, 33, 5)
+		zeros := make([]float64, k)
+		r := MeanReducer{W: Limit(3)}
+		got := r.Reduce(ups, zeros)
+		want := r.Reduce(ups, nil)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d coord %d: zero weights %v != unweighted %v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTreeMeanDoesNotMutateUploads: Reducer contract — uploads are
+// read-only.
+func TestTreeMeanDoesNotMutateUploads(t *testing.T) {
+	ups, ws := randomUploads(150, 17, 6)
+	snap := make([]nn.ParamVector, len(ups))
+	for i, u := range ups {
+		snap[i] = append(nn.ParamVector(nil), u...)
+	}
+	r := MeanReducer{W: Limit(4)}
+	r.Reduce(ups, ws)
+	for i := range ups {
+		for j := range ups[i] {
+			if ups[i][j] != snap[i][j] {
+				t.Fatalf("upload %d mutated at %d", i, j)
+			}
+		}
+	}
+}
