@@ -70,24 +70,25 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "table1", "experiment to run: table1, table2, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, comm, robust, async, ablations, all")
-		profile    = flag.String("profile", "tiny", "run scale: tiny, small, paper")
-		modelsFlag = flag.String("models", "cnn", "comma-separated vision models (cnn,resnet,vgg,mlp)")
-		datasets   = flag.String("datasets", "vision10", "comma-separated datasets for table2")
-		betas      = flag.String("betas", "0.5", "comma-separated Dirichlet betas (non-IID settings)")
-		iid        = flag.Bool("iid", true, "include the IID setting where applicable")
-		alphas     = flag.String("alphas", "0.5,0.8,0.9,0.95,0.99,0.999", "comma-separated alphas for table3/fig8")
-		rounds     = flag.Int("rounds", 0, "override the profile's round count (0 keeps profile default)")
-		clients    = flag.Int("clients", 0, "override the profile's client population N (0 keeps profile default); fig7 sweeps exactly this N")
-		kFlag      = flag.Int("k", 0, "override the profile's activated clients per round K (0 keeps profile default)")
-		rssLimitMB = flag.Int("rsslimitmb", 0, "fail if peak RSS exceeds this many MiB (0 = no gate)")
-		seeds      = flag.Int("seeds", 0, "override the number of seeds (0 keeps profile default)")
-		parallel   = flag.Int("parallel", 0, "worker goroutines for client training/eval (0 = all cores, 1 = serial; results are identical)")
-		jobs       = flag.Int("jobs", 0, "concurrent experiment grid cells (0 = all cores, 1 = sequential; results are identical)")
-		codec      = flag.String("codec", "identity", "wire codec for model payloads: identity, fp16, int8, topk[:frac]")
-		network    = flag.String("net", "none", "simulated link model: none, fiber, wifi, lte, edge")
-		deadline   = flag.Float64("deadline", 0, "per-round client deadline in seconds (0 = none); late uploads become stragglers")
-		codecs     = flag.String("codecs", "identity,fp16,int8,topk", "comma-separated codec sweep for the comm experiment")
+		experiment  = flag.String("experiment", "table1", "experiment to run: table1, table2, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, comm, robust, async, ablations, all")
+		profile     = flag.String("profile", "tiny", "run scale: tiny, small, paper")
+		modelsFlag  = flag.String("models", "cnn", "comma-separated vision models (cnn,resnet,vgg,mlp)")
+		datasets    = flag.String("datasets", "vision10", "comma-separated datasets for table2")
+		betas       = flag.String("betas", "0.5", "comma-separated Dirichlet betas (non-IID settings)")
+		iid         = flag.Bool("iid", true, "include the IID setting where applicable")
+		alphas      = flag.String("alphas", "0.5,0.8,0.9,0.95,0.99,0.999", "comma-separated alphas for table3/fig8")
+		rounds      = flag.Int("rounds", 0, "override the profile's round count (0 keeps profile default)")
+		clients     = flag.Int("clients", 0, "override the profile's client population N (0 keeps profile default); fig7 sweeps exactly this N")
+		kFlag       = flag.Int("k", 0, "override the profile's activated clients per round K (0 keeps profile default)")
+		rssLimitMB  = flag.Int("rsslimitmb", 0, "fail if peak RSS exceeds this many MiB (0 = no gate)")
+		seeds       = flag.Int("seeds", 0, "override the number of seeds (0 keeps profile default)")
+		parallel    = flag.Int("parallel", 0, "worker goroutines for client training/eval (0 = all cores, 1 = serial; results are identical)")
+		batchfanout = flag.Int("batchfanout", 1, "max same-shape client jobs fused into one batched training pass (<=1 = solo; results are identical)")
+		jobs        = flag.Int("jobs", 0, "concurrent experiment grid cells (0 = all cores, 1 = sequential; results are identical)")
+		codec       = flag.String("codec", "identity", "wire codec for model payloads: identity, fp16, int8, topk[:frac]")
+		network     = flag.String("net", "none", "simulated link model: none, fiber, wifi, lte, edge")
+		deadline    = flag.Float64("deadline", 0, "per-round client deadline in seconds (0 = none); late uploads become stragglers")
+		codecs      = flag.String("codecs", "identity,fp16,int8,topk", "comma-separated codec sweep for the comm experiment")
 
 		reducer     = flag.String("reducer", "", "server-side aggregation rule: mean, trimmed[:frac], median, krum[:f], multikrum[:f]:[m] (empty = classic weighted mean)")
 		attack      = flag.String("attack", "none", "Byzantine client behaviour: none, labelflip, signflip, scale, collude")
@@ -126,6 +127,10 @@ func main() {
 		fatal(fmt.Errorf("-parallel %d must be non-negative", *parallel))
 	}
 	prof.Parallelism = *parallel
+	if *batchfanout < 0 {
+		fatal(fmt.Errorf("-batchfanout %d must be non-negative", *batchfanout))
+	}
+	prof.BatchFanout = *batchfanout
 	if *jobs < 0 {
 		fatal(fmt.Errorf("-jobs %d must be non-negative", *jobs))
 	}

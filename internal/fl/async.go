@@ -342,7 +342,7 @@ func trainPending(env *Env, cfg Config, inflight []*asyncJob) error {
 			RNG: j.rng,
 		}
 	}
-	results, err := TrainAll(env, jobs, cfg.Allowance())
+	results, err := TrainAllFanout(env, jobs, cfg.Allowance(), cfg.BatchFanout)
 	if err != nil {
 		return err
 	}

@@ -60,6 +60,12 @@ type Config struct {
 	// Adversary injects Byzantine clients (see AdversaryOptions). The
 	// zero value runs the benign setting with histories untouched.
 	Adversary AdversaryOptions
+	// BatchFanout caps how many queued client jobs may be fused into one
+	// batched training pass (see TrainAllFanout). 0 or 1 (the default)
+	// trains every client solo — the reference path. Any setting is
+	// bit-identical to solo training: fusion changes only how the
+	// arithmetic is scheduled, never its results.
+	BatchFanout int
 	// Budget, when non-nil, is the shared worker-token pool this run's
 	// training and evaluation fan-outs lease goroutines from — set by the
 	// experiment scheduler so concurrently running grid cells never
@@ -103,6 +109,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fl: DropoutRate = %v, must be in [0,1)", c.DropoutRate)
 	case c.Parallelism < 0:
 		return fmt.Errorf("fl: Parallelism = %d, must be non-negative", c.Parallelism)
+	case c.BatchFanout < 0:
+		return fmt.Errorf("fl: BatchFanout = %d, must be non-negative", c.BatchFanout)
 	}
 	if err := c.Adversary.Validate(); err != nil {
 		return err

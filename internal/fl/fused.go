@@ -1,0 +1,217 @@
+package fl
+
+import (
+	"fmt"
+
+	"fedcross/internal/data"
+	"fedcross/internal/models"
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+// TrainAllFanout is TrainAll with multi-client fusion: when fanout ≥ 2,
+// queued jobs that share their hyper-parameters and shard size are
+// trained in groups of up to fanout as one fused pass over a BatchedNet
+// — one batched matmul per layer per step instead of one per client —
+// with per-client gradient demultiplexing at the SGD step.
+//
+// Fusion never changes results: each fused client's trajectory is
+// bit-identical to its solo TrainLocal run (the BatchedNet per-group
+// contract, the grouped loss, and elementwise SGD compose to exactly the
+// solo arithmetic, and each job's RNG is consumed by the same Perm draws
+// in the same order). Jobs that cannot fuse — hook-bearing specs
+// (Prox/GradCorrection), override shards, empty shards, or architectures
+// with no batched mirror — fall back to the solo path, so fanout is
+// purely a throughput knob. fanout ≤ 1 is exactly TrainAll.
+func TrainAllFanout(env *Env, jobs []LocalJob, w Workers, fanout int) ([]LocalResult, error) {
+	if fanout <= 1 || len(jobs) < 2 {
+		return TrainAll(env, jobs, w)
+	}
+	// Serial grouping pass: bucket fusable jobs by the invariants a fused
+	// pass needs (equal loop hyper-parameters and shard length), emitting
+	// a fused unit whenever a bucket fills. Grouping happens before any
+	// dispatch, so unit composition is scheduling-independent.
+	type fuseKey struct {
+		epochs, batchSize int
+		lr, momentum      float64
+		shardLen          int
+	}
+	var units [][]int // job indices; len ≥ 2 means fused
+	buckets := make(map[fuseKey]*[]int)
+	var keyOrder []fuseKey
+	for i, job := range jobs {
+		size := 0
+		if job.Shard == nil {
+			size = env.Fed.Size(job.Client)
+		}
+		if job.Shard != nil || job.Spec.Prox != 0 || job.Spec.GradCorrection != nil || size == 0 {
+			units = append(units, []int{i})
+			continue
+		}
+		k := fuseKey{job.Spec.Epochs, job.Spec.BatchSize, job.Spec.LR, job.Spec.Momentum, size}
+		b, ok := buckets[k]
+		if !ok {
+			b = new([]int)
+			buckets[k] = b
+			keyOrder = append(keyOrder, k)
+		}
+		*b = append(*b, i)
+		if len(*b) == fanout {
+			units = append(units, *b)
+			*b = nil
+		}
+	}
+	for _, k := range keyOrder {
+		rest := *buckets[k]
+		if len(rest) >= 2 {
+			units = append(units, rest)
+		} else {
+			for _, i := range rest {
+				units = append(units, []int{i})
+			}
+		}
+	}
+
+	results := make([]LocalResult, len(jobs))
+	err := parallelForErr(len(units), w, func(u int) error {
+		idxs := units[u]
+		if len(idxs) == 1 {
+			i := idxs[0]
+			job := jobs[i]
+			shard := job.Shard
+			if shard == nil {
+				shard = env.Fed.LeaseShard(job.Client)
+				defer env.Fed.ReleaseShard(job.Client)
+			}
+			res, err := TrainLocal(env.Model, shard, job.Spec, job.RNG)
+			if err != nil {
+				return fmt.Errorf("client %d: %w", job.Client, err)
+			}
+			results[i] = res
+			return nil
+		}
+		return trainFusedUnit(env, jobs, idxs, results)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// trainFusedUnit trains the jobs at idxs as one fused pass, writing each
+// job's LocalResult in place. It falls back to sequential solo training
+// when the architecture has no batched mirror or a leased shard does not
+// match its advertised size.
+func trainFusedUnit(env *Env, jobs []LocalJob, idxs []int, results []LocalResult) error {
+	g := len(idxs)
+	shards := make([]*data.Dataset, g)
+	for k, i := range idxs {
+		shards[k] = env.Fed.LeaseShard(jobs[i].Client)
+		defer env.Fed.ReleaseShard(jobs[i].Client)
+	}
+	solo := func() error {
+		for k, i := range idxs {
+			res, err := TrainLocal(env.Model, shards[k], jobs[i].Spec, jobs[i].RNG)
+			if err != nil {
+				return fmt.Errorf("client %d: %w", jobs[i].Client, err)
+			}
+			results[i] = res
+		}
+		return nil
+	}
+	n := shards[0].Len()
+	for _, s := range shards[1:] {
+		if s.Len() != n {
+			return solo() // lease disagreed with Size metadata
+		}
+	}
+
+	pool := models.BatchedReplicas(env.Model, g)
+	rep, err := pool.Get()
+	if err != nil {
+		return solo() // no batched mirror for this architecture
+	}
+	defer pool.Put(rep)
+	net := rep.Net
+
+	spec0 := jobs[idxs[0]].Spec
+	for _, i := range idxs {
+		spec := jobs[i].Spec
+		switch {
+		case spec.LR <= 0:
+			return fmt.Errorf("client %d: fl: TrainLocal: learning rate %v must be positive", jobs[i].Client, spec.LR)
+		case len(spec.Init) != net.ClientParams():
+			return fmt.Errorf("client %d: fl: TrainLocal: vector has %d elements, model wants %d", jobs[i].Client, len(spec.Init), net.ClientParams())
+		case spec.Out != nil && len(spec.Out) != len(spec.Init):
+			return fmt.Errorf("client %d: fl: TrainLocal: out length %d != init %d", jobs[i].Client, len(spec.Out), len(spec.Init))
+		}
+	}
+	for k, i := range idxs {
+		net.LoadClient(k, jobs[i].Spec.Init)
+	}
+	rep.Reset(spec0.LR, spec0.Momentum)
+
+	params := net.Params()
+	grads := net.Grads()
+	opt := rep.Opt
+	bs := spec0.BatchSize
+	feat := shards[0].Features()
+	steps := 0
+	lossSums := make([]float64, g)
+	losses := make([]float64, g)
+	perms := make([][]int, g)
+
+	x := tensor.GetScratch(g*bs, feat)
+	defer tensor.PutScratch(x)
+	y := make([]int, g*bs)
+	var dlogits *tensor.Tensor
+	defer func() { tensor.PutScratch(dlogits) }()
+
+	for epoch := 0; epoch < spec0.Epochs; epoch++ {
+		// One epoch permutation per client, drawn from that client's own
+		// RNG — the identical draw shard.Batches makes on the solo path.
+		for k, i := range idxs {
+			perms[k] = jobs[i].RNG.Perm(n)
+		}
+		for start := 0; start < n; start += bs {
+			end := start + bs
+			if end > n {
+				end = n
+			}
+			m := end - start
+			bx := tensor.Ensure(x, g*m, feat)
+			by := y[:g*m]
+			for k := range idxs {
+				shards[k].BatchInto(tensor.New(bx.Data[k*m*feat:(k+1)*m*feat], m, feat), by[k*m:(k+1)*m], perms[k][start:end])
+			}
+			net.ZeroGrads()
+			logits := net.Forward(bx, true)
+			if dlogits == nil {
+				dlogits = tensor.GetScratch(logits.Shape...)
+			}
+			dlogits = tensor.Ensure(dlogits, logits.Shape...)
+			nn.SoftmaxCrossEntropyGroupsInto(losses, dlogits, logits, by, g)
+			net.Backward(dlogits)
+			opt.Step(params, grads)
+			steps++
+			for k := range lossSums {
+				lossSums[k] += losses[k]
+			}
+		}
+	}
+
+	for k, i := range idxs {
+		spec := jobs[i].Spec
+		out := spec.Out
+		if out == nil {
+			out = make(nn.ParamVector, len(spec.Init))
+		}
+		net.StoreClient(k, out)
+		res := LocalResult{Params: out, Steps: steps, Samples: n}
+		if steps > 0 {
+			res.MeanLoss = lossSums[k] / float64(steps)
+		}
+		results[i] = res
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+// compareResults requires two TrainAll-shaped result sets to agree bit
+// for bit — parameters, step counts, losses, and sample counts.
+func compareResults(t *testing.T, name string, a, b []LocalResult) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: result counts differ: %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Steps != b[i].Steps || a[i].Samples != b[i].Samples ||
+			math.Float64bits(a[i].MeanLoss) != math.Float64bits(b[i].MeanLoss) {
+			t.Fatalf("%s: job %d metadata differs: %+v vs %+v", name, i, a[i], b[i])
+		}
+		if len(a[i].Params) != len(b[i].Params) {
+			t.Fatalf("%s: job %d param lengths differ", name, i)
+		}
+		for j := range a[i].Params {
+			if math.Float64bits(a[i].Params[j]) != math.Float64bits(b[i].Params[j]) {
+				t.Fatalf("%s: job %d param %d: %v vs %v", name, i, j, a[i].Params[j], b[i].Params[j])
+			}
+		}
+	}
+}
+
+// TestBatchFanoutBitIdentical is the fused trainer's core promise: for
+// any fanout, TrainAllFanout returns exactly what solo TrainAll returns —
+// same parameters bit for bit, same losses, same step counts — because
+// fusion only reschedules the arithmetic.
+func TestBatchFanoutBitIdentical(t *testing.T) {
+	env := testEnv(61, 7)
+	init := nn.FlattenParams(env.Model.New(tensor.NewRNG(62)).Params())
+
+	solo, err := TrainAll(env, trainJobs(env, init, 63), Limit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 jobs: fanout 2 → three pairs + leftover solo; 3 → two triples +
+	// leftover pair; 8 → one under-full fused unit of 7.
+	for _, fanout := range []int{2, 3, 8} {
+		fused, err := TrainAllFanout(env, trainJobs(env, init, 63), Limit(2), fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, "fanout", solo, fused)
+	}
+}
+
+// TestBatchFanoutWorkerInvariant checks that the fused path stays
+// scheduling-independent: unit grouping happens before dispatch, so the
+// worker budget cannot change which clients fuse together or any result.
+func TestBatchFanoutWorkerInvariant(t *testing.T) {
+	env := testEnv(71, 6)
+	init := nn.FlattenParams(env.Model.New(tensor.NewRNG(72)).Params())
+
+	serial, err := TrainAllFanout(env, trainJobs(env, init, 73), Limit(1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := TrainAllFanout(env, trainJobs(env, init, 73), Limit(8), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, "workers", serial, parallel)
+}
+
+// TestBatchFanoutMixedFallback mixes fusable jobs with ones the fused
+// path must route solo — a proximal spec and a shard override — and
+// checks the whole batch still matches plain TrainAll exactly.
+func TestBatchFanoutMixedFallback(t *testing.T) {
+	env := testEnv(81, 6)
+	init := nn.FlattenParams(env.Model.New(tensor.NewRNG(82)).Params())
+
+	build := func() []LocalJob {
+		jobs := trainJobs(env, init, 83)
+		jobs[1].Spec.Prox = 0.1 // hook-bearing: must train solo
+		jobs[1].Spec.ProxRef = init
+		jobs[4].Shard = env.Fed.Clients[4] // override shard: must train solo
+		return jobs
+	}
+	solo, err := TrainAll(env, build(), Limit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := TrainAllFanout(env, build(), Limit(2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, "mixed", solo, fused)
+}
+
+// TestBatchFanoutOutBuffers checks the fused path honours caller-owned
+// Out destinations exactly like TrainLocal does.
+func TestBatchFanoutOutBuffers(t *testing.T) {
+	env := testEnv(91, 4)
+	init := nn.FlattenParams(env.Model.New(tensor.NewRNG(92)).Params())
+
+	build := func(withOut bool) []LocalJob {
+		jobs := trainJobs(env, init, 93)
+		if withOut {
+			for i := range jobs {
+				jobs[i].Spec.Out = make(nn.ParamVector, len(init))
+			}
+		}
+		return jobs
+	}
+	jobs := build(true)
+	fused, err := TrainAllFanout(env, jobs, Limit(2), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fused {
+		if &fused[i].Params[0] != &jobs[i].Spec.Out[0] {
+			t.Fatalf("job %d: result not written into the caller's Out buffer", i)
+		}
+	}
+	solo, err := TrainAll(env, build(false), Limit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, "out", solo, fused)
+}
+
+// fanoutAlgo is a FedAvg-shaped probe whose rounds train through
+// TrainAllFanout with the configured fanout, exercising the same dispatch
+// path the real algorithms use.
+type fanoutAlgo struct {
+	env    *Env
+	cfg    Config
+	rng    *tensor.RNG
+	global nn.ParamVector
+}
+
+func (s *fanoutAlgo) Name() string     { return "fanout-probe" }
+func (s *fanoutAlgo) Category() string { return "Test" }
+
+func (s *fanoutAlgo) Init(env *Env, cfg Config, rng *tensor.RNG) error {
+	s.env, s.cfg, s.rng = env, cfg, rng
+	s.global = nn.FlattenParams(env.Model.New(rng).Params())
+	return nil
+}
+
+func (s *fanoutAlgo) Round(r int, selected []int) error {
+	var jobs []LocalJob
+	for _, ci := range selected {
+		if ci < 0 {
+			continue
+		}
+		jobs = append(jobs, LocalJob{
+			Client: ci,
+			Spec: LocalSpec{Init: s.global, Epochs: s.cfg.LocalEpochs,
+				BatchSize: s.cfg.BatchSize, LR: s.cfg.LR, Momentum: s.cfg.Momentum},
+			RNG: s.rng.Split(),
+		})
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	results, err := TrainAllFanout(s.env, jobs, s.cfg.Allowance(), s.cfg.BatchFanout)
+	if err != nil {
+		return err
+	}
+	got := make([]nn.ParamVector, len(results))
+	for i, res := range results {
+		got[i] = res.Params
+	}
+	s.global = nn.MeanVectors(got)
+	return nil
+}
+
+func (s *fanoutAlgo) Global() nn.ParamVector { return s.global }
+
+func (s *fanoutAlgo) RoundComm(k int) CommProfile {
+	return CommProfile{ModelsDown: k, ModelsUp: k}
+}
+
+// TestRunBatchFanoutHistoryIdentical runs a short end-to-end simulation
+// through the round engine at fanout 0 and 4 and requires identical
+// histories — the Config knob must be invisible in results.
+func TestRunBatchFanoutHistoryIdentical(t *testing.T) {
+	env := testEnv(101, 10)
+	base := DefaultConfig()
+	base.Rounds = 3
+	base.ClientsPerRound = 6
+	base.LocalEpochs = 2
+	base.BatchSize = 16
+	base.LR = 0.05
+	base.Parallelism = 2
+	base.EvalEvery = 1
+	base.Seed = 102
+
+	run := func(fanout int) *History {
+		cfg := base
+		cfg.BatchFanout = fanout
+		h, err := Run(&fanoutAlgo{}, env, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	solo := run(0)
+	fused := run(4)
+	if len(solo.Metrics) != len(fused.Metrics) {
+		t.Fatalf("metric counts differ: %d vs %d", len(solo.Metrics), len(fused.Metrics))
+	}
+	for i := range solo.Metrics {
+		a, b := solo.Metrics[i], fused.Metrics[i]
+		if math.Float64bits(a.TestAcc) != math.Float64bits(b.TestAcc) ||
+			math.Float64bits(a.TestLoss) != math.Float64bits(b.TestLoss) {
+			t.Fatalf("round %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}

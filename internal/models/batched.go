@@ -1,0 +1,105 @@
+package models
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fedcross/internal/nn"
+	"fedcross/internal/tensor"
+)
+
+// BatchedReplica is a fused G-client network with its optimizer, leased
+// from a BatchedReplicaPool. Like Replica, a leased instance carries no
+// usable state: callers must LoadClient every group's weights and Reset
+// the optimizer before training.
+type BatchedReplica struct {
+	// Net is the reusable fused network instance.
+	Net *nn.BatchedNet
+	// Opt is the instance-bound SGD state over the parameter slabs.
+	Opt *nn.SGD
+}
+
+// Reset configures the optimizer for a new fused training job and zeroes
+// its momentum slabs in place.
+func (r *BatchedReplica) Reset(lr, momentum float64) {
+	r.Opt.LR = lr
+	r.Opt.Momentum = momentum
+	r.Opt.WeightDecay = 0
+	r.Opt.ZeroVelocity()
+}
+
+// BatchedReplicaPool recycles fused replicas of one (architecture,
+// fanout) pair. Concurrency-safe; leased replicas are not.
+type BatchedReplicaPool struct {
+	factory Factory
+	fanout  int
+	pool    sync.Pool
+	// err caches the architecture's batched-construction failure: an
+	// architecture either always mirrors or never does, so the first
+	// probe's verdict is final.
+	err         error
+	errOnce     sync.Once
+	outstanding atomic.Int64
+}
+
+// NewBatchedReplicaPool returns an empty pool for the factory's
+// architecture at the given fanout.
+func NewBatchedReplicaPool(f Factory, fanout int) *BatchedReplicaPool {
+	return &BatchedReplicaPool{factory: f, fanout: fanout}
+}
+
+// Get leases a fused replica, constructing one when none is idle. It
+// returns an error when the architecture has no batched mirror (e.g. it
+// contains Dropout); callers then fall back to solo training. Parameter
+// slabs are unspecified on lease — callers must LoadClient every group.
+func (p *BatchedReplicaPool) Get() (*BatchedReplica, error) {
+	p.errOnce.Do(func() {
+		proto := p.factory.New(tensor.NewRNG(0))
+		if _, err := nn.NewBatched(proto, p.fanout); err != nil {
+			p.err = fmt.Errorf("models: %s: %w", p.factory.Name, err)
+		}
+	})
+	if p.err != nil {
+		return nil, p.err
+	}
+	p.outstanding.Add(1)
+	if r, ok := p.pool.Get().(*BatchedReplica); ok {
+		return r, nil
+	}
+	proto := p.factory.New(tensor.NewRNG(0))
+	net, err := nn.NewBatched(proto, p.fanout)
+	if err != nil {
+		// Unreachable after the probe above, but keep the lease honest.
+		p.outstanding.Add(-1)
+		return nil, fmt.Errorf("models: %s: %w", p.factory.Name, err)
+	}
+	return &BatchedReplica{Net: net, Opt: nn.NewSGD(1, 0)}, nil
+}
+
+// Put returns a leased fused replica to the pool.
+func (p *BatchedReplicaPool) Put(r *BatchedReplica) {
+	if r != nil {
+		p.outstanding.Add(-1)
+		p.pool.Put(r)
+	}
+}
+
+// Outstanding reports how many leased fused replicas have not been
+// returned.
+func (p *BatchedReplicaPool) Outstanding() int64 { return p.outstanding.Load() }
+
+// batchedPools maps "Name#fanout" to its process-wide pool.
+var batchedPools sync.Map
+
+// BatchedReplicas returns the shared fused-replica pool for the
+// factory's architecture at the given fanout, keyed by Factory.Name and
+// the fanout together.
+func BatchedReplicas(f Factory, fanout int) *BatchedReplicaPool {
+	key := fmt.Sprintf("%s#%d", f.Name, fanout)
+	if p, ok := batchedPools.Load(key); ok {
+		return p.(*BatchedReplicaPool)
+	}
+	p, _ := batchedPools.LoadOrStore(key, NewBatchedReplicaPool(f, fanout))
+	return p.(*BatchedReplicaPool)
+}

@@ -22,28 +22,14 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		r.mask = make([]bool, len(x.Data))
 	}
 	r.mask = r.mask[:len(x.Data)]
-	for i, v := range x.Data {
-		if v > 0 {
-			r.out.Data[i] = v
-			r.mask[i] = true
-		} else {
-			r.out.Data[i] = 0
-			r.mask[i] = false
-		}
-	}
+	tensor.ReluForward(r.out.Data, x.Data, r.mask)
 	return r.out
 }
 
 // Backward gates the incoming gradient by the active mask.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	r.dx = tensor.Ensure(r.dx, grad.Shape...)
-	for i, v := range grad.Data {
-		if r.mask[i] {
-			r.dx.Data[i] = v
-		} else {
-			r.dx.Data[i] = 0
-		}
-	}
+	tensor.ReluBackward(r.dx.Data, grad.Data, r.mask)
 	return r.dx
 }
 

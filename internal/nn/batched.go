@@ -1,0 +1,545 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedcross/internal/tensor"
+)
+
+// Batched layers: G independent parameter sets trained as one fused
+// network. A BatchedNet mirrors a solo Sequential's architecture but
+// stores every parameter as a group-major slab whose g-th block is laid
+// out exactly like the solo tensor, and consumes fused minibatches in
+// which group g owns the row block [g·n, (g+1)·n). Each group's forward
+// activations, gradients and SGD updates are bit-identical to running
+// the solo network on that group's rows alone: the batched matmul
+// kernels guarantee per-group bit-identity, the per-group scalar loops
+// below replicate the solo loops' accumulation order, and SGD is
+// elementwise. That is the contract that lets the FL layer fuse several
+// clients' local training into one pass without perturbing any client's
+// training history.
+
+// groupRows validates that a fused batch splits evenly across groups and
+// returns the per-group row count.
+func groupRows(name string, batch, g int) int {
+	if g <= 0 || batch%g != 0 {
+		panic(fmt.Sprintf("nn: %s: batch %d must be a multiple of %d groups", name, batch, g))
+	}
+	return batch / g
+}
+
+// addGroupRows adds bias row g of bias (G × w) to each of group g's n
+// rows of dst (G·n × w) — AddRowTo's per-element add applied per group.
+func addGroupRows(dst, bias []float64, g, n, w int) {
+	for gi := 0; gi < g; gi++ {
+		b := bias[gi*w : (gi+1)*w]
+		for r := gi * n; r < (gi+1)*n; r++ {
+			row := dst[r*w : (r+1)*w]
+			for j, v := range b {
+				row[j] += v
+			}
+		}
+	}
+}
+
+// colSumGroups accumulates per-group column sums of src (G·n × w) into
+// dst rows (G × w), rows ascending within each group — ColSumAcc's
+// accumulation chain restricted to each group's row block.
+func colSumGroups(dst, src []float64, g, n, w int) {
+	for gi := 0; gi < g; gi++ {
+		d := dst[gi*w : (gi+1)*w]
+		for r := gi * n; r < (gi+1)*n; r++ {
+			row := src[r*w : (r+1)*w]
+			for j, v := range row {
+				d[j] += v
+			}
+		}
+	}
+}
+
+// BatchedLinear is G independent Linear layers sharing one fused batch.
+type BatchedLinear struct {
+	G, In, Out int
+	W, B       *tensor.Tensor // slabs (G × In × Out), (G × Out)
+	dW, dB     *tensor.Tensor
+
+	x       *tensor.Tensor // cached input for backward
+	out, dx *tensor.Tensor
+}
+
+func newBatchedLinear(g, in, out int) *BatchedLinear {
+	return &BatchedLinear{
+		G: g, In: in, Out: out,
+		W:  tensor.Zeros(g, in, out),
+		B:  tensor.Zeros(g, out),
+		dW: tensor.Zeros(g, in, out),
+		dB: tensor.Zeros(g, out),
+	}
+}
+
+// Forward computes group g's rows as x_g·W_g + b_g in one batched matmul.
+func (l *BatchedLinear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatch("BatchedLinear", x, l.In)
+	n := groupRows("BatchedLinear", x.Shape[0], l.G)
+	l.x = x
+	l.out = tensor.Ensure(l.out, x.Shape[0], l.Out)
+	tensor.BatchMatMulTo(tensor.New(l.out.Data, l.G, n, l.Out), tensor.New(x.Data, l.G, n, l.In), l.W)
+	addGroupRows(l.out.Data, l.B.Data, l.G, n, l.Out)
+	return l.out
+}
+
+// Backward accumulates each group's dW/dB and returns the fused input
+// gradient.
+func (l *BatchedLinear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	checkBatch("BatchedLinear.Backward", grad, l.Out)
+	batch := grad.Shape[0]
+	n := batch / l.G
+	g3 := tensor.New(grad.Data, l.G, n, l.Out)
+	tensor.BatchMatMulTransAAcc(l.dW, tensor.New(l.x.Data, l.G, n, l.In), g3)
+	colSumGroups(l.dB.Data, grad.Data, l.G, n, l.Out)
+	l.dx = tensor.Ensure(l.dx, batch, l.In)
+	tensor.BatchMatMulTransBTo(tensor.New(l.dx.Data, l.G, n, l.In), g3, l.W)
+	return l.dx
+}
+
+// Params returns {W, B} slabs.
+func (l *BatchedLinear) Params() []*tensor.Tensor { return []*tensor.Tensor{l.W, l.B} }
+
+// Grads returns {dW, dB} slabs.
+func (l *BatchedLinear) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.dW, l.dB} }
+
+// BatchedConv2D is G independent Conv2D layers over one fused batch. The
+// im2col workspace gains a leading group dimension so one batched matmul
+// convolves every group; the channel-major shuffles run per group,
+// replicating the solo layer's loops on each group's slab.
+type BatchedConv2D struct {
+	G      int
+	Geom   tensor.ConvGeom
+	OutC   int
+	W, B   *tensor.Tensor // slabs (G × OutC × InC·KH·KW), (G × OutC)
+	dW, dB *tensor.Tensor
+
+	cols, y, out, dy, dcols, dx *tensor.Tensor
+}
+
+// InFeatures returns the flattened input width.
+func (c *BatchedConv2D) InFeatures() int { return c.Geom.InC * c.Geom.InH * c.Geom.InW }
+
+// OutFeatures returns the flattened output width.
+func (c *BatchedConv2D) OutFeatures() int { return c.OutC * c.Geom.OutH() * c.Geom.OutW() }
+
+// Forward lowers each group's rows with im2col and convolves all groups
+// in one batched multiply.
+func (c *BatchedConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatch("BatchedConv2D", x, c.InFeatures())
+	batch := x.Shape[0]
+	n := groupRows("BatchedConv2D", batch, c.G)
+	spatial := c.Geom.OutH() * c.Geom.OutW()
+	colRows := c.Geom.InC * c.Geom.KH * c.Geom.KW
+	inLen := c.InFeatures()
+	ns := n * spatial
+	c.cols = tensor.Ensure(c.cols, c.G, colRows, ns)
+	for g := 0; g < c.G; g++ {
+		tensor.Im2ColBatchTo(
+			tensor.New(c.cols.Data[g*colRows*ns:(g+1)*colRows*ns], colRows, ns),
+			tensor.New(x.Data[g*n*inLen:(g+1)*n*inLen], n, inLen), c.Geom)
+	}
+	c.y = tensor.Ensure(c.y, c.G, c.OutC, ns)
+	tensor.BatchMatMulTo(c.y, c.W, c.cols)
+	c.out = tensor.Ensure(c.out, batch, c.OutC*spatial)
+	// Channel-major → sample-major with the bias fused into the copy,
+	// exactly the solo loop on each group's slab.
+	for g := 0; g < c.G; g++ {
+		ySlab := c.y.Data[g*c.OutC*ns : (g+1)*c.OutC*ns]
+		outSlab := c.out.Data[g*n*c.OutC*spatial : (g+1)*n*c.OutC*spatial]
+		bg := c.B.Data[g*c.OutC : (g+1)*c.OutC]
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := bg[oc]
+			yrow := ySlab[oc*ns : (oc+1)*ns]
+			for b := 0; b < n; b++ {
+				src := yrow[b*spatial : (b+1)*spatial]
+				dst := outSlab[b*c.OutC*spatial+oc*spatial : b*c.OutC*spatial+(oc+1)*spatial]
+				for j, v := range src {
+					dst[j] = v + bias
+				}
+			}
+		}
+	}
+	return c.out
+}
+
+// Backward accumulates each group's dW/dB and scatters dx, mirroring the
+// solo Conv2D backward per group.
+func (c *BatchedConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	checkBatch("BatchedConv2D.Backward", grad, c.OutFeatures())
+	batch := grad.Shape[0]
+	n := batch / c.G
+	spatial := c.Geom.OutH() * c.Geom.OutW()
+	colRows := c.Geom.InC * c.Geom.KH * c.Geom.KW
+	inLen := c.InFeatures()
+	ns := n * spatial
+	c.dy = tensor.Ensure(c.dy, c.G, c.OutC, ns)
+	for g := 0; g < c.G; g++ {
+		dySlab := c.dy.Data[g*c.OutC*ns : (g+1)*c.OutC*ns]
+		gSlab := grad.Data[g*n*c.OutC*spatial : (g+1)*n*c.OutC*spatial]
+		for oc := 0; oc < c.OutC; oc++ {
+			dyRow := dySlab[oc*ns : (oc+1)*ns]
+			for b := 0; b < n; b++ {
+				copy(dyRow[b*spatial:(b+1)*spatial], gSlab[b*c.OutC*spatial+oc*spatial:b*c.OutC*spatial+(oc+1)*spatial])
+			}
+		}
+		// dW via the per-sample segment chain, dB via the solo scalar sums.
+		tensor.MatMulTransBSegAcc(
+			tensor.New(c.dW.Data[g*c.OutC*colRows:(g+1)*c.OutC*colRows], c.OutC, colRows),
+			tensor.New(dySlab, c.OutC, ns),
+			tensor.New(c.cols.Data[g*colRows*ns:(g+1)*colRows*ns], colRows, ns), spatial)
+		dBg := c.dB.Data[g*c.OutC : (g+1)*c.OutC]
+		for oc := 0; oc < c.OutC; oc++ {
+			dyRow := dySlab[oc*ns : (oc+1)*ns]
+			acc := dBg[oc]
+			for b := 0; b < n; b++ {
+				s := 0.0
+				for _, v := range dyRow[b*spatial : (b+1)*spatial] {
+					s += v
+				}
+				acc += s
+			}
+			dBg[oc] = acc
+		}
+	}
+	c.dcols = tensor.Ensure(c.dcols, c.G, colRows, ns)
+	tensor.BatchMatMulTransATo(c.dcols, c.W, c.dy)
+	c.dx = tensor.Ensure(c.dx, batch, inLen)
+	for g := 0; g < c.G; g++ {
+		tensor.Col2ImBatchTo(
+			tensor.New(c.dx.Data[g*n*inLen:(g+1)*n*inLen], n, inLen),
+			tensor.New(c.dcols.Data[g*colRows*ns:(g+1)*colRows*ns], colRows, ns), c.Geom)
+	}
+	return c.dx
+}
+
+// Params returns {W, B} slabs.
+func (c *BatchedConv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads returns {dW, dB} slabs.
+func (c *BatchedConv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.dW, c.dB} }
+
+// BatchedLSTM is G independent LSTMs over one fused batch. The recurrence
+// structure matches the solo layer step for step; only the two gate
+// matmuls per step become batched multiplies over the weight slabs.
+type BatchedLSTM struct {
+	G, T, D, H   int
+	Wx, Wh, B    *tensor.Tensor // slabs (G × D × 4H), (G × H × 4H), (G × 4H)
+	dWx, dWh, dB *tensor.Tensor
+
+	xs, hs, cs, gates, tanhC []*tensor.Tensor
+	batch                    int
+
+	a, da, dh, dc, dxt, dx *tensor.Tensor
+}
+
+func newBatchedLSTM(g, t, d, h int) *BatchedLSTM {
+	return &BatchedLSTM{
+		G: g, T: t, D: d, H: h,
+		Wx:  tensor.Zeros(g, d, 4*h),
+		Wh:  tensor.Zeros(g, h, 4*h),
+		B:   tensor.Zeros(g, 4*h),
+		dWx: tensor.Zeros(g, d, 4*h),
+		dWh: tensor.Zeros(g, h, 4*h),
+		dB:  tensor.Zeros(g, 4*h),
+	}
+}
+
+// Forward runs the recurrence over all T steps for every group at once.
+func (l *BatchedLSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatch("BatchedLSTM", x, l.T*l.D)
+	batch := x.Shape[0]
+	n := groupRows("BatchedLSTM", batch, l.G)
+	l.batch = batch
+	h4 := 4 * l.H
+
+	l.xs = ensureSteps(l.xs, l.T, batch, l.D)
+	l.hs = ensureSteps(l.hs, l.T+1, batch, l.H)
+	l.cs = ensureSteps(l.cs, l.T+1, batch, l.H)
+	l.gates = ensureSteps(l.gates, l.T, batch, h4)
+	l.tanhC = ensureSteps(l.tanhC, l.T, batch, l.H)
+	l.hs[0].Zero()
+	l.cs[0].Zero()
+	l.a = tensor.Ensure(l.a, batch, h4)
+	a := l.a
+	a3 := tensor.New(a.Data, l.G, n, h4)
+
+	for t := 0; t < l.T; t++ {
+		xt := l.xs[t]
+		for b := 0; b < batch; b++ {
+			copy(xt.Data[b*l.D:(b+1)*l.D], x.Data[b*l.T*l.D+t*l.D:b*l.T*l.D+(t+1)*l.D])
+		}
+
+		tensor.BatchMatMulTo(a3, tensor.New(xt.Data, l.G, n, l.D), l.Wx)
+		tensor.BatchMatMulAcc(a3, tensor.New(l.hs[t].Data, l.G, n, l.H), l.Wh)
+		addGroupRows(a.Data, l.B.Data, l.G, n, h4)
+
+		gate, ct, ht, tc := l.gates[t], l.cs[t+1], l.hs[t+1], l.tanhC[t]
+		prevC := l.cs[t]
+		for b := 0; b < batch; b++ {
+			arow := a.Data[b*h4 : (b+1)*h4]
+			grow := gate.Data[b*h4 : (b+1)*h4]
+			for j := 0; j < l.H; j++ {
+				i := sigmoid(arow[j])
+				f := sigmoid(arow[l.H+j])
+				g := math.Tanh(arow[2*l.H+j])
+				o := sigmoid(arow[3*l.H+j])
+				grow[j], grow[l.H+j], grow[2*l.H+j], grow[3*l.H+j] = i, f, g, o
+				c := f*prevC.Data[b*l.H+j] + i*g
+				ct.Data[b*l.H+j] = c
+				th := math.Tanh(c)
+				tc.Data[b*l.H+j] = th
+				ht.Data[b*l.H+j] = o * th
+			}
+		}
+	}
+	return l.hs[l.T]
+}
+
+// Backward backpropagates through time for every group at once.
+func (l *BatchedLSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	checkBatch("BatchedLSTM.Backward", grad, l.H)
+	batch := l.batch
+	n := batch / l.G
+	h4 := 4 * l.H
+	l.dx = tensor.Ensure(l.dx, batch, l.T*l.D)
+	l.dh = tensor.Ensure(l.dh, batch, l.H)
+	copy(l.dh.Data, grad.Data)
+	l.dc = tensor.Ensure(l.dc, batch, l.H)
+	l.dc.Zero()
+	l.da = tensor.Ensure(l.da, batch, h4)
+	l.dxt = tensor.Ensure(l.dxt, batch, l.D)
+	dx, dh, dc, da, dxt := l.dx, l.dh, l.dc, l.da, l.dxt
+	da3 := tensor.New(da.Data, l.G, n, h4)
+	dh3 := tensor.New(dh.Data, l.G, n, l.H)
+	dxt3 := tensor.New(dxt.Data, l.G, n, l.D)
+
+	for t := l.T - 1; t >= 0; t-- {
+		gate := l.gates[t]
+		prevC := l.cs[t]
+		for b := 0; b < batch; b++ {
+			grow := gate.Data[b*h4 : (b+1)*h4]
+			darow := da.Data[b*h4 : (b+1)*h4]
+			for j := 0; j < l.H; j++ {
+				i, f, g, o := grow[j], grow[l.H+j], grow[2*l.H+j], grow[3*l.H+j]
+				th := l.tanhC[t].Data[b*l.H+j]
+				dhv := dh.Data[b*l.H+j]
+				do := dhv * th
+				dcv := dc.Data[b*l.H+j] + dhv*o*(1-th*th)
+				di := dcv * g
+				dg := dcv * i
+				df := dcv * prevC.Data[b*l.H+j]
+				dc.Data[b*l.H+j] = dcv * f // becomes dc_{t-1}
+				darow[j] = di * i * (1 - i)
+				darow[l.H+j] = df * f * (1 - f)
+				darow[2*l.H+j] = dg * (1 - g*g)
+				darow[3*l.H+j] = do * o * (1 - o)
+			}
+		}
+		tensor.BatchMatMulTransAAcc(l.dWx, tensor.New(l.xs[t].Data, l.G, n, l.D), da3)
+		tensor.BatchMatMulTransAAcc(l.dWh, tensor.New(l.hs[t].Data, l.G, n, l.H), da3)
+		colSumGroups(l.dB.Data, da.Data, l.G, n, h4)
+		tensor.BatchMatMulTransBTo(dxt3, da3, l.Wx)
+		for b := 0; b < batch; b++ {
+			copy(dx.Data[b*l.T*l.D+t*l.D:b*l.T*l.D+(t+1)*l.D], dxt.Data[b*l.D:(b+1)*l.D])
+		}
+		tensor.BatchMatMulTransBTo(dh3, da3, l.Wh)
+	}
+	return dx
+}
+
+// Params returns {Wx, Wh, B} slabs.
+func (l *BatchedLSTM) Params() []*tensor.Tensor { return []*tensor.Tensor{l.Wx, l.Wh, l.B} }
+
+// Grads returns {dWx, dWh, dB} slabs.
+func (l *BatchedLSTM) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.dWx, l.dWh, l.dB} }
+
+// BatchedEmbedding is G independent embedding tables; each fused row
+// looks up (and scatters gradients into) its own group's table.
+type BatchedEmbedding struct {
+	G, Vocab, D int
+	W           *tensor.Tensor // slab (G × Vocab × D)
+	dW          *tensor.Tensor
+
+	ids     []int
+	t, n    int // sequence length and group rows of the last forward
+	out, dx *tensor.Tensor
+}
+
+func newBatchedEmbedding(g, vocab, d int) *BatchedEmbedding {
+	return &BatchedEmbedding{
+		G: g, Vocab: vocab, D: d,
+		W:  tensor.Zeros(g, vocab, d),
+		dW: tensor.Zeros(g, vocab, d),
+	}
+}
+
+// Forward looks up each token's embedding row in its group's table.
+func (e *BatchedEmbedding) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 {
+		panic(fmt.Sprintf("nn: BatchedEmbedding expects rank-2 (batch x T) input, got %v", x.Shape))
+	}
+	batch, t := x.Shape[0], x.Shape[1]
+	n := groupRows("BatchedEmbedding", batch, e.G)
+	e.t, e.n = t, n
+	if cap(e.ids) < batch*t {
+		e.ids = make([]int, batch*t)
+	}
+	e.ids = e.ids[:batch*t]
+	e.out = tensor.Ensure(e.out, batch, t*e.D)
+	out := e.out
+	tableLen := e.Vocab * e.D
+	for i, raw := range x.Data {
+		id := int(raw)
+		if id < 0 || id >= e.Vocab {
+			panic(fmt.Sprintf("nn: BatchedEmbedding: token id %d out of vocab %d", id, e.Vocab))
+		}
+		e.ids[i] = id
+		base := (i / (n * t)) * tableLen // group of row i/t
+		copy(out.Data[i*e.D:(i+1)*e.D], e.W.Data[base+id*e.D:base+(id+1)*e.D])
+	}
+	return out
+}
+
+// Backward scatters gradients into each group's table rows.
+func (e *BatchedEmbedding) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if grad.Shape[1] != e.t*e.D {
+		panic(fmt.Sprintf("nn: BatchedEmbedding.Backward: grad width %d, want %d", grad.Shape[1], e.t*e.D))
+	}
+	tableLen := e.Vocab * e.D
+	for i, id := range e.ids {
+		base := (i / (e.n * e.t)) * tableLen
+		src := grad.Data[i*e.D : (i+1)*e.D]
+		dst := e.dW.Data[base+id*e.D : base+(id+1)*e.D]
+		for j := range src {
+			dst[j] += src[j]
+		}
+	}
+	e.dx = tensor.Ensure(e.dx, grad.Shape[0], e.t)
+	e.dx.Zero()
+	return e.dx
+}
+
+// Params returns {W} slab.
+func (e *BatchedEmbedding) Params() []*tensor.Tensor { return []*tensor.Tensor{e.W} }
+
+// Grads returns {dW} slab.
+func (e *BatchedEmbedding) Grads() []*tensor.Tensor { return []*tensor.Tensor{e.dW} }
+
+// BatchedNet is G independent copies of one architecture fused into a
+// single network over group-major parameter slabs. Group g's block of
+// every slab is laid out exactly like the corresponding solo tensor, so
+// LoadClient/StoreClient shuttle solo flat parameter vectors in and out
+// without any reordering.
+type BatchedNet struct {
+	G   int
+	Seq *Sequential
+}
+
+// NewBatched mirrors proto's architecture as a BatchedNet with g
+// parameter groups (all zero-initialised — callers LoadClient real
+// weights before use). Stateless layers are recreated as-is: they act
+// per sample, so a fused batch already keeps groups independent. Layers
+// whose fused semantics would differ from solo runs (Dropout consumes
+// RNG draws across the whole batch; Residual may nest anything) are
+// rejected, and callers fall back to solo training.
+func NewBatched(proto *Sequential, g int) (*BatchedNet, error) {
+	if g <= 0 {
+		return nil, fmt.Errorf("nn: NewBatched: fanout %d must be positive", g)
+	}
+	layers := make([]Layer, 0, len(proto.Layers))
+	for _, raw := range proto.Layers {
+		switch l := raw.(type) {
+		case *Linear:
+			layers = append(layers, newBatchedLinear(g, l.In, l.Out))
+		case *Conv2D:
+			layers = append(layers, &BatchedConv2D{
+				G: g, Geom: l.Geom, OutC: l.OutC,
+				W:  tensor.Zeros(g, l.OutC, l.Geom.InC*l.Geom.KH*l.Geom.KW),
+				B:  tensor.Zeros(g, l.OutC),
+				dW: tensor.Zeros(g, l.OutC, l.Geom.InC*l.Geom.KH*l.Geom.KW),
+				dB: tensor.Zeros(g, l.OutC),
+			})
+		case *LSTM:
+			layers = append(layers, newBatchedLSTM(g, l.T, l.D, l.H))
+		case *Embedding:
+			layers = append(layers, newBatchedEmbedding(g, l.Vocab, l.D))
+		case *ReLU:
+			layers = append(layers, NewReLU())
+		case *Tanh:
+			layers = append(layers, NewTanh())
+		case *Sigmoid:
+			layers = append(layers, NewSigmoid())
+		case *MaxPool2D:
+			layers = append(layers, NewMaxPool2D(l.C, l.H, l.W, l.K))
+		case *GlobalAvgPool:
+			layers = append(layers, NewGlobalAvgPool(l.C, l.H, l.W))
+		default:
+			return nil, fmt.Errorf("nn: NewBatched: unsupported layer %T", raw)
+		}
+	}
+	return &BatchedNet{G: g, Seq: NewSequential(layers...)}, nil
+}
+
+// Forward runs the fused batch through every layer.
+func (bn *BatchedNet) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return bn.Seq.Forward(x, train)
+}
+
+// Backward propagates the fused gradient.
+func (bn *BatchedNet) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return bn.Seq.Backward(grad)
+}
+
+// Params returns the parameter slabs in layer order.
+func (bn *BatchedNet) Params() []*tensor.Tensor { return bn.Seq.Params() }
+
+// Grads returns the gradient slabs aligned with Params.
+func (bn *BatchedNet) Grads() []*tensor.Tensor { return bn.Seq.Grads() }
+
+// ZeroGrads clears every gradient slab.
+func (bn *BatchedNet) ZeroGrads() { bn.Seq.ZeroGrads() }
+
+// ClientParams returns the per-client scalar parameter count.
+func (bn *BatchedNet) ClientParams() int { return bn.Seq.NumParams() / bn.G }
+
+// LoadClient copies a solo flat parameter vector into group g's slab
+// blocks. It walks Params() in layer order — the same order
+// FlattenParams uses — so vec's layout is exactly a solo model's.
+func (bn *BatchedNet) LoadClient(g int, vec []float64) {
+	if g < 0 || g >= bn.G {
+		panic(fmt.Sprintf("nn: BatchedNet.LoadClient: group %d of %d", g, bn.G))
+	}
+	if len(vec) != bn.ClientParams() {
+		panic(fmt.Sprintf("nn: BatchedNet.LoadClient: vector has %d elements, client model wants %d", len(vec), bn.ClientParams()))
+	}
+	off := 0
+	for _, p := range bn.Seq.Params() {
+		s := p.Len() / bn.G
+		copy(p.Data[g*s:(g+1)*s], vec[off:off+s])
+		off += s
+	}
+}
+
+// StoreClient copies group g's parameter blocks out into a solo flat
+// parameter vector, the inverse of LoadClient.
+func (bn *BatchedNet) StoreClient(g int, out []float64) {
+	if g < 0 || g >= bn.G {
+		panic(fmt.Sprintf("nn: BatchedNet.StoreClient: group %d of %d", g, bn.G))
+	}
+	if len(out) != bn.ClientParams() {
+		panic(fmt.Sprintf("nn: BatchedNet.StoreClient: vector has %d elements, client model has %d", len(out), bn.ClientParams()))
+	}
+	off := 0
+	for _, p := range bn.Seq.Params() {
+		s := p.Len() / bn.G
+		copy(out[off:off+s], p.Data[g*s:(g+1)*s])
+		off += s
+	}
+}

@@ -1,0 +1,292 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fedcross/internal/tensor"
+)
+
+// batchedLossOf scores a fused forward pass with per-group normalization
+// and returns the sum of the group losses. Each parameter slab block
+// influences only its own group's loss, so the sum is a valid scalar
+// objective for central differences on any coordinate.
+func batchedLossOf(bn *BatchedNet, x *tensor.Tensor, labels []int, losses []float64, grad *tensor.Tensor) float64 {
+	logits := bn.Forward(x, false)
+	SoftmaxCrossEntropyGroupsInto(losses, grad, logits, labels, bn.G)
+	sum := 0.0
+	for _, l := range losses[:bn.G] {
+		sum += l
+	}
+	return sum
+}
+
+// batchedGradCheck is gradCheck for a BatchedNet: analytic slab gradients
+// from the grouped loss vs central differences of the summed group loss.
+func batchedGradCheck(t *testing.T, name string, bn *BatchedNet, x *tensor.Tensor, labels []int, tol float64) {
+	t.Helper()
+	losses := make([]float64, bn.G)
+	bn.ZeroGrads()
+	logits := bn.Forward(x, false)
+	dlogits := tensor.Zeros(logits.Shape...)
+	SoftmaxCrossEntropyGroupsInto(losses, dlogits, logits, labels, bn.G)
+	bn.Backward(dlogits)
+
+	params := bn.Params()
+	grads := bn.Grads()
+	rng := tensor.NewRNG(123)
+	const eps = 1e-5
+	checked := 0
+	for pi, p := range params {
+		n := p.Len()
+		// Check up to 4 coordinates per group block so every group's
+		// arithmetic is exercised, not just group 0's.
+		s := n / bn.G
+		for g := 0; g < bn.G; g++ {
+			for k := 0; k < 4 && k < s; k++ {
+				j := g*s + rng.Intn(s)
+				orig := p.Data[j]
+				p.Data[j] = orig + eps
+				lp := batchedLossOf(bn, x, labels, losses, dlogits)
+				p.Data[j] = orig - eps
+				lm := batchedLossOf(bn, x, labels, losses, dlogits)
+				p.Data[j] = orig
+				numeric := (lp - lm) / (2 * eps)
+				analytic := grads[pi].Data[j]
+				scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(analytic)))
+				if math.Abs(numeric-analytic)/scale > tol {
+					t.Fatalf("%s: param %d coord %d: analytic %.8g vs numeric %.8g", name, pi, j, analytic, numeric)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatalf("%s: no parameters checked", name)
+	}
+}
+
+// loadRandomClients fills every group of bn with an independently
+// initialised solo model's parameters and returns the solo nets.
+func loadRandomClients(t *testing.T, bn *BatchedNet, proto func(*tensor.RNG) *Sequential, seed int64) []*Sequential {
+	t.Helper()
+	solos := make([]*Sequential, bn.G)
+	for g := 0; g < bn.G; g++ {
+		solos[g] = proto(tensor.NewRNG(seed + int64(g)))
+		bn.LoadClient(g, FlattenParams(solos[g].Params()))
+	}
+	return solos
+}
+
+func TestGradCheckBatchedLinear(t *testing.T) {
+	proto := func(rng *tensor.RNG) *Sequential {
+		return NewSequential(NewLinear(5, 6, rng), NewReLU(), NewLinear(6, 3, rng))
+	}
+	for _, fanout := range []int{2, 8} {
+		bn, err := NewBatched(proto(tensor.NewRNG(0)), fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loadRandomClients(t, bn, proto, 40)
+		rng := tensor.NewRNG(41)
+		const n = 3
+		x := rng.Randn(1, fanout*n, 5)
+		labels := make([]int, fanout*n)
+		for i := range labels {
+			labels[i] = rng.Intn(3)
+		}
+		batchedGradCheck(t, "batched-linear", bn, x, labels, 1e-5)
+	}
+}
+
+func TestGradCheckBatchedConv(t *testing.T) {
+	g := tensor.ConvGeom{InC: 2, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	proto := func(rng *tensor.RNG) *Sequential {
+		conv := NewConv2D(g, 3, rng)
+		pool := NewMaxPool2D(3, 4, 4, 2)
+		return NewSequential(conv, NewReLU(), pool, NewLinear(pool.OutFeatures(), 3, rng))
+	}
+	for _, fanout := range []int{2, 8} {
+		bn, err := NewBatched(proto(tensor.NewRNG(0)), fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loadRandomClients(t, bn, proto, 50)
+		rng := tensor.NewRNG(51)
+		const n = 2
+		x := rng.Randn(1, fanout*n, 2*4*4)
+		labels := make([]int, fanout*n)
+		for i := range labels {
+			labels[i] = rng.Intn(3)
+		}
+		batchedGradCheck(t, "batched-conv", bn, x, labels, 1e-5)
+	}
+}
+
+func TestGradCheckBatchedLSTM(t *testing.T) {
+	proto := func(rng *tensor.RNG) *Sequential {
+		return NewSequential(NewLSTM(4, 3, 5, rng), NewLinear(5, 3, rng))
+	}
+	for _, fanout := range []int{2, 8} {
+		bn, err := NewBatched(proto(tensor.NewRNG(0)), fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loadRandomClients(t, bn, proto, 60)
+		rng := tensor.NewRNG(61)
+		const n = 2
+		x := rng.Randn(1, fanout*n, 12)
+		labels := make([]int, fanout*n)
+		for i := range labels {
+			labels[i] = rng.Intn(3)
+		}
+		batchedGradCheck(t, "batched-lstm", bn, x, labels, 1e-4)
+	}
+}
+
+func TestGradCheckBatchedEmbedding(t *testing.T) {
+	proto := func(rng *tensor.RNG) *Sequential {
+		return NewSequential(NewEmbedding(7, 3, rng), NewLSTM(5, 3, 4, rng), NewLinear(4, 2, rng))
+	}
+	bn, err := NewBatched(proto(tensor.NewRNG(0)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadRandomClients(t, bn, proto, 70)
+	x := tensor.New([]float64{0, 3, 6, 2, 1, 5, 5, 4, 0, 1, 2, 2, 6, 0, 3, 1, 4, 5, 6, 0}, 4, 5)
+	batchedGradCheck(t, "batched-embedding", bn, x, []int{1, 0, 1, 0}, 1e-4)
+}
+
+// TestNewBatchedRejectsUnsupported pins the solo-fallback trigger: a
+// Dropout (or Residual) in the architecture must fail NewBatched rather
+// than silently change training semantics.
+func TestNewBatchedRejectsUnsupported(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	withDropout := NewSequential(NewLinear(4, 4, rng), NewDropout(0.5, rng), NewLinear(4, 2, rng))
+	if _, err := NewBatched(withDropout, 2); err == nil {
+		t.Fatal("NewBatched accepted a Dropout layer")
+	}
+	body := NewSequential(NewLinear(4, 4, rng))
+	withRes := NewSequential(NewResidual(body), NewLinear(4, 2, rng))
+	if _, err := NewBatched(withRes, 2); err == nil {
+		t.Fatal("NewBatched accepted a Residual layer")
+	}
+	if _, err := NewBatched(NewSequential(NewLinear(4, 2, rng)), 0); err == nil {
+		t.Fatal("NewBatched accepted fanout 0")
+	}
+}
+
+// TestBatchedMatchesSolo trains G independently-initialised clients both
+// ways — each solo on its own rows, and all fused through one BatchedNet
+// with a shared elementwise SGD over the slabs — and requires bitwise
+// agreement of every logit, every gradient block, and every parameter
+// after multiple momentum steps. This is the whole-stack bit-identity
+// contract the FL fused trainer builds on.
+func TestBatchedMatchesSolo(t *testing.T) {
+	g := tensor.ConvGeom{InC: 2, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	proto := func(rng *tensor.RNG) *Sequential {
+		conv := NewConv2D(g, 3, rng)
+		pool := NewMaxPool2D(3, 4, 4, 2)
+		return NewSequential(conv, NewReLU(), pool, NewLinear(pool.OutFeatures(), 4, rng))
+	}
+	const G, n, classes, steps = 3, 4, 4, 5
+	bn, err := NewBatched(proto(tensor.NewRNG(0)), G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solos := loadRandomClients(t, bn, proto, 80)
+
+	rng := tensor.NewRNG(81)
+	x := rng.Randn(1, G*n, 2*4*4)
+	labels := make([]int, G*n)
+	for i := range labels {
+		labels[i] = rng.Intn(classes)
+	}
+
+	fusedOpt := NewSGD(0.05, 0.9)
+	soloOpts := make([]*SGD, G)
+	for i := range soloOpts {
+		soloOpts[i] = NewSGD(0.05, 0.9)
+	}
+	losses := make([]float64, G)
+	feat := 2 * 4 * 4
+	for step := 0; step < steps; step++ {
+		bn.ZeroGrads()
+		logits := bn.Forward(x, true)
+		dlogits := tensor.Zeros(logits.Shape...)
+		SoftmaxCrossEntropyGroupsInto(losses, dlogits, logits, labels, G)
+		bn.Backward(dlogits)
+		fusedOpt.Step(bn.Params(), bn.Grads())
+
+		for gi, solo := range solos {
+			solo.ZeroGrads()
+			xg := tensor.New(x.Data[gi*n*feat:(gi+1)*n*feat], n, feat)
+			sl := solo.Forward(xg, true)
+			fusedBlock := logits.Data[gi*n*classes : (gi+1)*n*classes]
+			for j := range sl.Data {
+				if math.Float64bits(sl.Data[j]) != math.Float64bits(fusedBlock[j]) {
+					t.Fatalf("step %d group %d logit %d: solo %v fused %v", step, gi, j, sl.Data[j], fusedBlock[j])
+				}
+			}
+			loss, dl := SoftmaxCrossEntropy(sl, labels[gi*n:(gi+1)*n])
+			if math.Float64bits(loss) != math.Float64bits(losses[gi]) {
+				t.Fatalf("step %d group %d loss: solo %v fused %v", step, gi, loss, losses[gi])
+			}
+			solo.Backward(dl)
+			// Gradient slab block must equal the solo gradient exactly.
+			soloGrads := solo.Grads()
+			for pi, fg := range bn.Grads() {
+				s := fg.Len() / G
+				block := fg.Data[gi*s : (gi+1)*s]
+				want := soloGrads[pi].Data
+				for j := range want {
+					if math.Float64bits(block[j]) != math.Float64bits(want[j]) {
+						t.Fatalf("step %d group %d grad %d coord %d: fused %v solo %v", step, gi, pi, j, block[j], want[j])
+					}
+				}
+			}
+			soloOpts[gi].Step(solo.Params(), soloGrads)
+		}
+	}
+
+	out := make([]float64, bn.ClientParams())
+	for gi, solo := range solos {
+		bn.StoreClient(gi, out)
+		want := FlattenParams(solo.Params())
+		for j := range want {
+			if math.Float64bits(out[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("final params group %d coord %d: fused %v solo %v", gi, j, out[j], want[j])
+			}
+		}
+	}
+}
+
+// TestBatchedLoadStoreRoundTrip pins the slab layout contract: LoadClient
+// then StoreClient is the identity on a solo flat vector.
+func TestBatchedLoadStoreRoundTrip(t *testing.T) {
+	proto := func(rng *tensor.RNG) *Sequential {
+		return NewSequential(NewLSTM(3, 2, 4, rng), NewLinear(4, 3, rng))
+	}
+	bn, err := NewBatched(proto(tensor.NewRNG(0)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(90)
+	vecs := make([][]float64, 4)
+	for g := 0; g < 4; g++ {
+		vecs[g] = make([]float64, bn.ClientParams())
+		for j := range vecs[g] {
+			vecs[g][j] = rng.Normal(0, 1)
+		}
+		bn.LoadClient(g, vecs[g])
+	}
+	out := make([]float64, bn.ClientParams())
+	for g := 0; g < 4; g++ {
+		bn.StoreClient(g, out)
+		for j := range out {
+			if math.Float64bits(out[j]) != math.Float64bits(vecs[g][j]) {
+				t.Fatalf("group %d coord %d: %v vs %v", g, j, out[j], vecs[g][j])
+			}
+		}
+	}
+}

@@ -180,9 +180,7 @@ func (FP16Codec) Encode(buf []byte, vec ParamVector) []byte {
 	buf = putCount(buf, len(vec))
 	body, buf := codecGrow(buf, 2*len(vec))
 	tensor.ParallelChunks(len(vec), codecWorkers(len(vec)), func(_, i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			binary.LittleEndian.PutUint16(body[2*i:], tensor.Float16Bits(vec[i]))
-		}
+		tensor.Float16EncodeSlice(body[2*i0:], vec[i0:i1])
 	})
 	return buf
 }

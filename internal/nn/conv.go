@@ -8,8 +8,11 @@ import (
 
 // Conv2D is a 2-D convolution over CHW images carried in flattened
 // (batch × C·H·W) activations. The spatial geometry is fixed at
-// construction; the forward pass lowers each sample with im2col so the
-// convolution is a single matrix multiply per sample.
+// construction; the forward pass lowers the whole minibatch with a
+// batched im2col into one fused (colRows × batch·spatial) workspace, so
+// the convolution is a single matrix multiply per layer per step instead
+// of one per sample — the kernels finally see matrices big enough to
+// amortize their blocking.
 type Conv2D struct {
 	Geom   tensor.ConvGeom
 	OutC   int
@@ -18,13 +21,13 @@ type Conv2D struct {
 	dW, dB *tensor.Tensor
 
 	// Reusable workspaces, refreshed per call via tensor.Ensure so
-	// steady-state batches allocate nothing. cols is the per-sample im2col
-	// cache that backward consumes; the header tensors (imgHdr, gradHdr)
-	// re-point their Data at batch rows instead of allocating views.
-	cols            []*tensor.Tensor
-	y, out, dx      *tensor.Tensor
-	dcols           *tensor.Tensor
-	imgHdr, gradHdr tensor.Tensor
+	// steady-state batches allocate nothing. cols is the fused im2col
+	// workspace (colRows × batch·spatial) that backward consumes; y and dy
+	// hold the channel-major (OutC × batch·spatial) activations/gradients
+	// on either side of the sample-major (batch × OutC·spatial) layout the
+	// surrounding layers exchange.
+	cols, y, dy    *tensor.Tensor
+	out, dx, dcols *tensor.Tensor
 }
 
 // NewConv2D constructs a convolution with the given geometry and output
@@ -50,72 +53,77 @@ func (c *Conv2D) InFeatures() int { return c.Geom.InC * c.Geom.InH * c.Geom.InW 
 // OutFeatures returns the flattened output width the layer produces.
 func (c *Conv2D) OutFeatures() int { return c.OutC * c.Geom.OutH() * c.Geom.OutW() }
 
-// Forward applies the convolution to every sample in the batch.
+// Forward convolves the whole batch with one fused matmul. Per-element
+// arithmetic (ascending-tap matmul chain, one bias add) matches the old
+// per-sample lowering exactly, so activations are bit-identical.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkBatch("Conv2D", x, c.InFeatures())
 	batch := x.Shape[0]
-	oh, ow := c.Geom.OutH(), c.Geom.OutW()
-	spatial := oh * ow
+	spatial := c.Geom.OutH() * c.Geom.OutW()
 	colRows := c.Geom.InC * c.Geom.KH * c.Geom.KW
+	c.cols = tensor.Ensure(c.cols, colRows, batch*spatial)
+	tensor.Im2ColBatchTo(c.cols, x, c.Geom)
+	c.y = tensor.Ensure(c.y, c.OutC, batch*spatial)
+	tensor.MatMulTo(c.y, c.W, c.cols) // every sample in one multiply
 	c.out = tensor.Ensure(c.out, batch, c.OutC*spatial)
-	c.y = tensor.Ensure(c.y, c.OutC, spatial)
-	c.cols = ensureSteps(c.cols, batch, colRows, spatial)
-	inLen := c.InFeatures()
-	if c.imgHdr.Shape == nil {
-		c.imgHdr.Shape = []int{c.Geom.InC, c.Geom.InH, c.Geom.InW}
-	}
-	for b := 0; b < batch; b++ {
-		c.imgHdr.Data = x.Data[b*inLen : (b+1)*inLen]
-		cols := tensor.Im2ColTo(c.cols[b], &c.imgHdr, c.Geom)
-		tensor.MatMulTo(c.y, c.W, cols) // (OutC × spatial)
-		dst := c.out.Data[b*c.OutC*spatial : (b+1)*c.OutC*spatial]
-		for oc := 0; oc < c.OutC; oc++ {
-			bias := c.B.Data[oc]
-			row := c.y.Data[oc*spatial : (oc+1)*spatial]
-			dstRow := dst[oc*spatial : (oc+1)*spatial]
-			for j := range row {
-				dstRow[j] = row[j] + bias
+	// Channel-major → sample-major, fusing the bias add into the copy.
+	for oc := 0; oc < c.OutC; oc++ {
+		bias := c.B.Data[oc]
+		yrow := c.y.Data[oc*batch*spatial : (oc+1)*batch*spatial]
+		for b := 0; b < batch; b++ {
+			src := yrow[b*spatial : (b+1)*spatial]
+			dst := c.out.Data[b*c.OutC*spatial+oc*spatial : b*c.OutC*spatial+(oc+1)*spatial]
+			for j, v := range src {
+				dst[j] = v + bias
 			}
 		}
 	}
 	return c.out
 }
 
-// Backward accumulates dW/dB and returns the input gradient.
+// Backward accumulates dW/dB and returns the input gradient, again as
+// one fused multiply per gradient: dW via a segment-accumulating
+// transposed-B kernel whose per-sample segments reproduce the old
+// per-sample accumulate chain, dcols via one transposed-A multiply, and
+// dx via the batched col2im scatter.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	checkBatch("Conv2D.Backward", grad, c.OutFeatures())
 	batch := grad.Shape[0]
-	oh, ow := c.Geom.OutH(), c.Geom.OutW()
-	spatial := oh * ow
+	spatial := c.Geom.OutH() * c.Geom.OutW()
 	colRows := c.Geom.InC * c.Geom.KH * c.Geom.KW
 	inLen := c.InFeatures()
-	c.dx = tensor.Ensure(c.dx, batch, inLen)
-	c.dcols = tensor.Ensure(c.dcols, colRows, spatial)
-	if c.gradHdr.Shape == nil {
-		c.gradHdr.Shape = []int{c.OutC, spatial}
+	// Gather the sample-major incoming gradient into channel-major dy so
+	// its layout matches the fused cols workspace (pure copy, no FP ops).
+	c.dy = tensor.Ensure(c.dy, c.OutC, batch*spatial)
+	for oc := 0; oc < c.OutC; oc++ {
+		dyRow := c.dy.Data[oc*batch*spatial : (oc+1)*batch*spatial]
+		for b := 0; b < batch; b++ {
+			src := grad.Data[b*c.OutC*spatial+oc*spatial : b*c.OutC*spatial+(oc+1)*spatial]
+			copy(dyRow[b*spatial:(b+1)*spatial], src)
+		}
 	}
-	if c.imgHdr.Shape == nil {
-		c.imgHdr.Shape = []int{c.Geom.InC, c.Geom.InH, c.Geom.InW}
-	}
-	for b := 0; b < batch; b++ {
-		c.gradHdr.Data = grad.Data[b*c.OutC*spatial : (b+1)*c.OutC*spatial]
-		g := &c.gradHdr
-		// dW += g · colsᵀ
-		tensor.MatMulTransBAcc(c.dW, g, c.cols[b])
-		// dB += row sums of g
-		for oc := 0; oc < c.OutC; oc++ {
-			row := g.Data[oc*spatial : (oc+1)*spatial]
+	// dW += dy · colsᵀ, folded one per-sample segment at a time — bit-equal
+	// to the per-sample MatMulTransBAcc sequence it replaces.
+	tensor.MatMulTransBSegAcc(c.dW, c.dy, c.cols, spatial)
+	// dB += per-sample row sums of dy, samples ascending, serial within a
+	// sample — the old scalar loop's exact chain.
+	for oc := 0; oc < c.OutC; oc++ {
+		dyRow := c.dy.Data[oc*batch*spatial : (oc+1)*batch*spatial]
+		acc := c.dB.Data[oc]
+		for b := 0; b < batch; b++ {
 			s := 0.0
-			for _, v := range row {
+			for _, v := range dyRow[b*spatial : (b+1)*spatial] {
 				s += v
 			}
-			c.dB.Data[oc] += s
+			acc += s
 		}
-		// dcols = Wᵀ · g ; dx row = col2im(dcols), scattered in place.
-		tensor.MatMulTransATo(c.dcols, c.W, g)
-		c.imgHdr.Data = c.dx.Data[b*inLen : (b+1)*inLen]
-		tensor.Col2ImTo(&c.imgHdr, c.dcols, c.Geom)
+		c.dB.Data[oc] = acc
 	}
+	// dcols = Wᵀ · dy for all samples at once; dx = col2im per sample.
+	c.dcols = tensor.Ensure(c.dcols, colRows, batch*spatial)
+	tensor.MatMulTransATo(c.dcols, c.W, c.dy)
+	c.dx = tensor.Ensure(c.dx, batch, inLen)
+	tensor.Col2ImBatchTo(c.dx, c.dcols, c.Geom)
 	return c.dx
 }
 

@@ -40,12 +40,7 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	batch := x.Shape[0]
 	l.out = tensor.Ensure(l.out, batch, l.Out)
 	tensor.MatMulTo(l.out, x, l.W)
-	for b := 0; b < batch; b++ {
-		row := l.out.Data[b*l.Out : (b+1)*l.Out]
-		for j := range row {
-			row[j] += l.B.Data[j]
-		}
-	}
+	tensor.AddRowTo(l.out, l.out, l.B)
 	return l.out
 }
 
@@ -54,13 +49,8 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	checkBatch("Linear.Backward", grad, l.Out)
 	// dW += xᵀ · grad ; dB += Σ_batch grad ; dx = grad · Wᵀ
 	tensor.MatMulTransAAcc(l.dW, l.x, grad)
+	tensor.ColSumAcc(l.dB, grad)
 	batch := grad.Shape[0]
-	for b := 0; b < batch; b++ {
-		row := grad.Data[b*l.Out : (b+1)*l.Out]
-		for j := range row {
-			l.dB.Data[j] += row[j]
-		}
-	}
 	l.dx = tensor.Ensure(l.dx, batch, l.In)
 	return tensor.MatMulTransBTo(l.dx, grad, l.W)
 }

@@ -95,12 +95,7 @@ func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 		a := tensor.MatMulTo(l.a, xt, l.Wx)
 		tensor.MatMulAcc(a, l.hs[t], l.Wh)
-		for b := 0; b < batch; b++ {
-			row := a.Data[b*h4 : (b+1)*h4]
-			for j := range row {
-				row[j] += l.B.Data[j]
-			}
-		}
+		tensor.AddRowTo(a, a, l.B)
 
 		gate, ct, ht, tc := l.gates[t], l.cs[t+1], l.hs[t+1], l.tanhC[t]
 		prevC := l.cs[t]
@@ -163,12 +158,7 @@ func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		// Parameter gradients.
 		tensor.MatMulTransAAcc(l.dWx, l.xs[t], da)
 		tensor.MatMulTransAAcc(l.dWh, l.hs[t], da)
-		for b := 0; b < batch; b++ {
-			row := da.Data[b*h4 : (b+1)*h4]
-			for j := range row {
-				l.dB.Data[j] += row[j]
-			}
-		}
+		tensor.ColSumAcc(l.dB, da)
 		// Input and recurrent gradients. dh's previous value was fully
 		// consumed above, so it can be overwritten in place.
 		tensor.MatMulTransBTo(dxt, da, l.Wx)

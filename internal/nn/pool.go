@@ -51,21 +51,26 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		src := x.Data[b*inLen : (b+1)*inLen]
 		dst := out.Data[b*outLen : (b+1)*outLen]
 		am := p.argmax[b*outLen : (b+1)*outLen]
+		if p.K == 2 && tensor.MaxPool2x2(dst, am, src, p.W, oh, ow, p.C) {
+			continue
+		}
 		for c := 0; c < p.C; c++ {
+			obase := c * oh * ow
+			ibase := c * p.H * p.W
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
 					best := math.Inf(-1)
 					bestIdx := -1
 					for dy := 0; dy < p.K; dy++ {
 						for dx := 0; dx < p.K; dx++ {
-							idx := c*p.H*p.W + (oy*p.K+dy)*p.W + (ox*p.K + dx)
+							idx := ibase + (oy*p.K+dy)*p.W + (ox*p.K + dx)
 							if src[idx] > best {
 								best = src[idx]
 								bestIdx = idx
 							}
 						}
 					}
-					o := c*oh*ow + oy*ow + ox
+					o := obase + oy*ow + ox
 					dst[o] = best
 					am[o] = bestIdx
 				}

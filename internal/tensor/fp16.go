@@ -74,6 +74,79 @@ func rneShift(man uint64, shift uint) uint64 {
 	return q
 }
 
+// Float16EncodeSlice packs src into dst as little-endian binary16, two
+// bytes per value, bit-equivalent to calling Float16Bits per element. The
+// hot path inlines the normal-half case — raw exponent in [0x3f1, 0x40e],
+// i.e. half exponent in [−14, 15] — with the RNE constants hoisted out of
+// the loop, and processes four values per iteration; zeros, subnormals,
+// overflows, Inf and NaN fall back to Float16Bits. dst must have at least
+// 2·len(src) bytes.
+func Float16EncodeSlice(dst []byte, src []float64) {
+	if len(src) == 0 {
+		return
+	}
+	_ = dst[2*len(src)-1 : 2*len(src)] // one bounds check for the whole pass
+	const (
+		manMask  = uint64(1)<<52 - 1
+		remMask  = uint64(1)<<42 - 1 // dropped mantissa bits (52-10)
+		halfRem  = uint64(1) << 41
+		expBias  = uint64(1023-15) << 52 // rebias exponent field in place
+		infField = uint32(31) << 10
+	)
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		v0, v1, v2, v3 := src[i], src[i+1], src[i+2], src[i+3]
+		b0 := math.Float64bits(v0)
+		b1 := math.Float64bits(v1)
+		b2 := math.Float64bits(v2)
+		b3 := math.Float64bits(v3)
+		e0 := b0 >> 52 & 0x7ff
+		e1 := b1 >> 52 & 0x7ff
+		e2 := b2 >> 52 & 0x7ff
+		e3 := b3 >> 52 & 0x7ff
+		if e0-0x3f1 > 0x40e-0x3f1 || e1-0x3f1 > 0x40e-0x3f1 ||
+			e2-0x3f1 > 0x40e-0x3f1 || e3-0x3f1 > 0x40e-0x3f1 {
+			// At least one lane left the normal-half fast range.
+			putF16(dst[2*i:], Float16Bits(v0))
+			putF16(dst[2*i+2:], Float16Bits(v1))
+			putF16(dst[2*i+4:], Float16Bits(v2))
+			putF16(dst[2*i+6:], Float16Bits(v3))
+			continue
+		}
+		putF16(dst[2*i:], f16Normal(b0, manMask, remMask, halfRem, expBias, infField))
+		putF16(dst[2*i+2:], f16Normal(b1, manMask, remMask, halfRem, expBias, infField))
+		putF16(dst[2*i+4:], f16Normal(b2, manMask, remMask, halfRem, expBias, infField))
+		putF16(dst[2*i+6:], f16Normal(b3, manMask, remMask, halfRem, expBias, infField))
+	}
+	for ; i < len(src); i++ {
+		putF16(dst[2*i:], Float16Bits(src[i]))
+	}
+}
+
+// f16Normal encodes a float64 whose raw exponent is already known to be
+// in the normal-half range, replicating the Float16Bits normal path: RNE
+// on the 42 dropped mantissa bits, mantissa carry rippling into the
+// exponent, and a carry past exp 15 landing on the Inf encoding.
+func f16Normal(b, manMask, remMask, halfRem uint64, expBias uint64, infField uint32) uint16 {
+	sign := uint16(b >> 48 & 0x8000)
+	man := b & manMask
+	q := man >> 42
+	rem := man & remMask
+	if rem > halfRem || (rem == halfRem && q&1 == 1) {
+		q++
+	}
+	combined := uint32((b-expBias)>>52&0x7ff)<<10 + uint32(q)
+	if combined >= infField {
+		return sign | f16Infinity
+	}
+	return sign | uint16(combined)
+}
+
+func putF16(b []byte, v uint16) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+}
+
 // Float16From expands binary16 bits to float64 exactly (every half value
 // is representable in float64).
 func Float16From(bits uint16) float64 {

@@ -22,10 +22,7 @@ func Add(a, b *Tensor) *Tensor {
 func AddTo(dst, a, b *Tensor) *Tensor {
 	checkSame("AddTo", a, b)
 	checkSame("AddTo(dst)", dst, a)
-	ad, bd, dd := a.Data, b.Data, dst.Data
-	for i := range dd {
-		dd[i] = ad[i] + bd[i]
-	}
+	active.Add(dst.Data, a.Data, b.Data)
 	return dst
 }
 
@@ -69,10 +66,7 @@ func Scale(a *Tensor, s float64) *Tensor {
 // ScaleTo computes dst = s * a elementwise. dst may alias a.
 func ScaleTo(dst, a *Tensor, s float64) *Tensor {
 	checkSame("ScaleTo(dst)", dst, a)
-	ad, dd := a.Data, dst.Data
-	for i := range dd {
-		dd[i] = ad[i] * s
-	}
+	active.Scale(dst.Data, a.Data, s)
 	return dst
 }
 
@@ -87,9 +81,7 @@ func AddInPlace(dst, src *Tensor) {
 // AXPY computes dst += alpha * src, the BLAS-style accumulate used by SGD.
 func AXPY(alpha float64, src, dst *Tensor) {
 	checkSame("AXPY", dst, src)
-	for i := range dst.Data {
-		dst.Data[i] += alpha * src.Data[i]
-	}
+	active.Axpy(alpha, src.Data, dst.Data)
 }
 
 // ScaleInPlace multiplies every element of t by s.
@@ -184,13 +176,14 @@ func ApplyTo(dst, a *Tensor, f func(float64) float64) *Tensor {
 	return dst
 }
 
-// Cache-blocking parameters for the matmul kernels. A (blockK × blockN)
-// panel of the B operand is 256 KiB — sized to stay resident in L2 while a
-// full sweep of output rows streams past it.
-const (
-	blockK = 128
-	blockN = 256
-)
+// The matrix kernels validate shapes here and dispatch to the process-wide
+// Backend (see backend.go). Every output element's addends fold in a fixed
+// order under the default GoBackend — ascending reduction index for the
+// plain and transposed-A forms, fixed 4-way partials for the transposed-B
+// form — so results are bit-identical run to run and at any worker count.
+// There is deliberately no zero-skip on operand elements: 0·NaN and 0·Inf
+// must produce NaN, not 0 (IEEE-754), so corrupted operands propagate
+// instead of being masked.
 
 // MatMul multiplies a (m×k) by b (k×n) producing an m×n tensor. Both
 // inputs must be rank-2.
@@ -214,70 +207,8 @@ func MatMulAcc(dst, a, b *Tensor) *Tensor {
 func matmulTo(dst, a, b *Tensor, acc bool) *Tensor {
 	m, k, n := matmulDims("MatMul", a, b, false, false)
 	checkDst("MatMul", dst, a, b, m, n)
-	if !acc {
-		dst.Zero()
-	}
-	if w := matmulWorkerCount(m, m*k*n); w > 1 {
-		parallelRows(m, w, func(i0, i1 int) {
-			matmulRows(dst.Data, a.Data, b.Data, i0, i1, k, n)
-		})
-	} else {
-		matmulRows(dst.Data, a.Data, b.Data, 0, m, k, n)
-	}
+	active.Gemm(dst.Data, a.Data, b.Data, m, k, n, false, false, acc)
 	return dst
-}
-
-// matmulRows accumulates rows [i0,i1) of dst += a·b with k/n blocking.
-// Every output element accumulates its k addends in ascending-p order, so
-// the result is bit-identical for any block size. There is deliberately no
-// zero-skip on a's elements: 0·NaN and 0·Inf must produce NaN, not 0
-// (IEEE-754), so corrupted operands propagate instead of being masked.
-func matmulRows(dd, ad, bd []float64, i0, i1, k, n int) {
-	for jb := 0; jb < n; jb += blockN {
-		jend := jb + blockN
-		if jend > n {
-			jend = n
-		}
-		for pb := 0; pb < k; pb += blockK {
-			pend := pb + blockK
-			if pend > k {
-				pend = k
-			}
-			// Two output rows per sweep so each B panel load feeds two
-			// accumulate streams. The unroll keeps one add per output
-			// element per p, so accumulation order (and rounding) is
-			// identical to the plain loop.
-			i := i0
-			for ; i+2 <= i1; i += 2 {
-				arow0 := ad[i*k : (i+1)*k]
-				arow1 := ad[(i+1)*k : (i+2)*k]
-				orow0 := dd[i*n+jb : i*n+jend]
-				orow1 := dd[(i+1)*n+jb : (i+1)*n+jend]
-				for p := pb; p < pend; p++ {
-					av0, av1 := arow0[p], arow1[p]
-					brow := bd[p*n+jb : p*n+jend]
-					o0 := orow0[:len(brow)]
-					o1 := orow1[:len(brow)]
-					for j, bv := range brow {
-						o0[j] += av0 * bv
-						o1[j] += av1 * bv
-					}
-				}
-			}
-			for ; i < i1; i++ {
-				arow := ad[i*k : (i+1)*k]
-				orow := dd[i*n+jb : i*n+jend]
-				for p := pb; p < pend; p++ {
-					av := arow[p]
-					brow := bd[p*n+jb : p*n+jend]
-					o := orow[:len(brow)]
-					for j, bv := range brow {
-						o[j] += av * bv
-					}
-				}
-			}
-		}
-	}
 }
 
 // MatMulTransB multiplies a (m×k) by bᵀ where b is (n×k), producing m×n.
@@ -302,45 +233,21 @@ func MatMulTransBAcc(dst, a, b *Tensor) *Tensor {
 func matmulTransBTo(dst, a, b *Tensor, acc bool) *Tensor {
 	m, k, n := matmulDims("MatMulTransB", a, b, false, true)
 	checkDst("MatMulTransB", dst, a, b, m, n)
-	ad, bd, dd := a.Data, b.Data, dst.Data
-	if w := matmulWorkerCount(m, m*k*n); w > 1 {
-		parallelRows(m, w, func(i0, i1 int) {
-			matmulTransBRows(dd, ad, bd, i0, i1, k, n, acc)
-		})
-	} else {
-		matmulTransBRows(dd, ad, bd, 0, m, k, n, acc)
-	}
+	active.Gemm(dst.Data, a.Data, b.Data, m, k, n, false, true, acc)
 	return dst
 }
 
-func matmulTransBRows(dd, ad, bd []float64, i0, i1, k, n int, acc bool) {
-	for i := i0; i < i1; i++ {
-		arow := ad[i*k : (i+1)*k]
-		orow := dd[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := bd[j*k : (j+1)*k]
-			// Four-way unrolled dot product: the partial sums change the
-			// rounding order versus a serial sum but are themselves a fixed
-			// order, preserving run-to-run determinism.
-			var s0, s1, s2, s3 float64
-			p := 0
-			for ; p+4 <= k; p += 4 {
-				s0 += arow[p] * brow[p]
-				s1 += arow[p+1] * brow[p+1]
-				s2 += arow[p+2] * brow[p+2]
-				s3 += arow[p+3] * brow[p+3]
-			}
-			for ; p < k; p++ {
-				s0 += arow[p] * brow[p]
-			}
-			s := s0 + s1 + s2 + s3
-			if acc {
-				orow[j] += s
-			} else {
-				orow[j] = s
-			}
-		}
-	}
+// MatMulTransBSegAcc computes dst += a·bᵀ (a m×k, b n×k, dst m×n) with
+// the reduction split into segments of length seg, folding each segment's
+// 4-way partial dot into dst separately in ascending-segment order. With
+// k == B·seg this reproduces, bit for bit, B successive MatMulTransBAcc
+// calls over the per-segment column blocks — the kernel behind the fused
+// conv weight gradient, where segments are the per-sample spatial blocks.
+func MatMulTransBSegAcc(dst, a, b *Tensor, seg int) *Tensor {
+	m, k, n := matmulDims("MatMulTransBSegAcc", a, b, false, true)
+	checkDst("MatMulTransBSegAcc", dst, a, b, m, n)
+	active.GemmTransBSegAcc(dst.Data, a.Data, b.Data, m, k, n, seg)
+	return dst
 }
 
 // MatMulTransA multiplies aᵀ (k×m, stored as m×k) by b (m×n), producing k×n.
@@ -364,44 +271,31 @@ func MatMulTransAAcc(dst, a, b *Tensor) *Tensor {
 func matmulTransATo(dst, a, b *Tensor, acc bool) *Tensor {
 	k, m, n := matmulDims("MatMulTransA", a, b, true, false)
 	checkDst("MatMulTransA", dst, a, b, k, n)
-	if !acc {
-		dst.Zero()
+	// Backend convention: dst is m×n with reduction k, a stored k×m. Here
+	// the tensor-level names have a m×k storing the logical k×m operand, so
+	// the backend's (m, k) are this wrapper's (k, m).
+	active.Gemm(dst.Data, a.Data, b.Data, k, m, n, true, false, acc)
+	return dst
+}
+
+// AddRowTo computes dst[r][j] = x[r][j] + row[j] — the broadcast bias add
+// over a rank-2 batch. dst may alias x; row must have x's column count.
+func AddRowTo(dst, x, row *Tensor) *Tensor {
+	checkSame("AddRowTo(dst)", dst, x)
+	if x.Rank() != 2 || row.Len() != x.Shape[1] {
+		panic(fmt.Sprintf("tensor: AddRowTo wants rank-2 x with %d-element row, got %v row %v", x.Shape[1], x.Shape, row.Shape))
 	}
-	ad, bd, dd := a.Data, b.Data, dst.Data
-	// Sequence of rank-1 updates dst += a[i]ᵀ·b[i], blocked over the output
-	// rows so a (blockK × n) panel of dst stays cached across the i sweep.
-	// Per-element accumulation order is ascending i, independent of blocks
-	// and of the two-rows-per-sweep unroll (one add per element per i).
-	for pb := 0; pb < k; pb += blockK {
-		pend := pb + blockK
-		if pend > k {
-			pend = k
-		}
-		for i := 0; i < m; i++ {
-			arow := ad[i*k : (i+1)*k]
-			brow := bd[i*n : (i+1)*n]
-			p := pb
-			for ; p+2 <= pend; p += 2 {
-				av0, av1 := arow[p], arow[p+1]
-				orow0 := dd[p*n : (p+1)*n]
-				orow1 := dd[(p+1)*n : (p+2)*n]
-				o0 := orow0[:len(brow)]
-				o1 := orow1[:len(brow)]
-				for j, bv := range brow {
-					o0[j] += av0 * bv
-					o1[j] += av1 * bv
-				}
-			}
-			for ; p < pend; p++ {
-				av := arow[p]
-				orow := dd[p*n : (p+1)*n]
-				o := orow[:len(brow)]
-				for j, bv := range brow {
-					o[j] += av * bv
-				}
-			}
-		}
+	active.AddRow(dst.Data, x.Data, row.Data, x.Shape[0], x.Shape[1])
+	return dst
+}
+
+// ColSumAcc computes dst[j] += Σ_r x[r][j] over a rank-2 x, folding rows
+// in ascending order — the bias-gradient accumulate.
+func ColSumAcc(dst, x *Tensor) *Tensor {
+	if x.Rank() != 2 || dst.Len() != x.Shape[1] {
+		panic(fmt.Sprintf("tensor: ColSumAcc wants rank-2 x with %d-element dst, got %v dst %v", x.Shape[1], x.Shape, dst.Shape))
 	}
+	active.ColSumAcc(dst.Data, x.Data, x.Shape[0], x.Shape[1])
 	return dst
 }
 

@@ -1,0 +1,246 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// AVX2 kernel primitives. Each assembly routine vectorizes across
+// INDEPENDENT output elements (lanes) while keeping every element's own
+// accumulation chain identical to the scalar kernels — VMULPD/VADDPD are
+// one rounding per operation, exactly like Go's scalar * and + (no FMA
+// contraction), so the avx2 backend is bit-identical to GoBackend. The
+// dot kernel maps the scalar 4-way partial sums onto the four lanes of
+// one ymm accumulator, tails fold into lane 0, and the collapse order is
+// ((s0+s1)+s2)+s3 — the exact structure of the scalar dot4.
+
+// hasAVX2 reports whether the CPU and OS support AVX2 ymm state.
+func hasAVX2() bool
+
+// axpyAVX computes dst[i] += a * x[i]. len(x) must be ≥ len(dst).
+//
+//go:noescape
+func axpyAVX(dst, x []float64, a float64)
+
+// axpy2AVX computes dst[i] += a0*x0[i] (then) += a1*x1[i], both adds per
+// element in that order — one destination pass for two reduction steps.
+// len(x0), len(x1) must be ≥ len(dst).
+//
+//go:noescape
+func axpy2AVX(dst, x0, x1 []float64, a0, a1 float64)
+
+// axpy4AVX computes dst[i] += a0*x0[i], then += a1*x1[i], += a2*x2[i],
+// += a3*x3[i] — four reduction steps per destination pass, adds in
+// ascending order per element. Lengths of x0..x3 must be ≥ len(dst).
+//
+//go:noescape
+func axpy4AVX(dst, x0, x1, x2, x3 []float64, a0, a1, a2, a3 float64)
+
+// dotAVX returns the 4-way partial-sum inner product of a and b (lengths
+// equal): lane p%4 accumulates ascending p, tail into lane 0, collapse
+// ((s0+s1)+s2)+s3 — bit-identical to the scalar dot4.
+//
+//go:noescape
+func dotAVX(a, b []float64) float64
+
+// dotRowsAVX computes dst[j] += dot4(aseg, b[j*stride:j*stride+len(aseg)])
+// for every j — a whole destination row of accumulating dots per call,
+// with the same partial-sum structure and collapse order as dotAVX.
+//
+//go:noescape
+func dotRowsAVX(dst, aseg, b []float64, stride int)
+
+// reluFwdAVX computes out[i] = x[i] if x[i] > 0 else 0, and mask[i] =
+// x[i] > 0 (NaN → false/0, like the scalar comparison). Lengths equal.
+//
+//go:noescape
+func reluFwdAVX(out, x []float64, mask []bool)
+
+// reluBwdAVX computes dx[i] = g[i] if mask[i] else 0. Lengths equal.
+//
+//go:noescape
+func reluBwdAVX(dx, g []float64, mask []bool)
+
+// maxPool2AVX computes one channel plane of non-overlapping 2×2 stride-2
+// max pooling with argmax. Each lane replays the scalar loop: best starts
+// at -Inf, index at -1, candidates tested in (dy, dx) ascending order with
+// strict > (GT_OQ) compare-and-blend. ow must be a positive multiple of 4.
+//
+//go:noescape
+func maxPool2AVX(dst []float64, am []int, src []float64, w, oh, ow, base int)
+
+// avx2Supported is probed once at init and gates backend selection.
+var avx2Supported = hasAVX2()
+
+// avx2Backend is the AVX2-accelerated kernel backend, bit-identical to
+// GoBackend (see the lane argument above). Elementwise methods it does
+// not override fall through to the embedded pure-Go implementations.
+type avx2Backend struct{ GoBackend }
+
+// Name implements Backend.
+func (avx2Backend) Name() string { return "avx2" }
+
+// Gemm implements Backend. The NN and TransA forms run as k-unrolled
+// row-axpy passes — dst row resident while the reduction streams — and
+// the TransB form as lane-parallel 4-partial dots; large multiplies fan
+// out over dst row chunks exactly like GoBackend.
+func (avx2Backend) Gemm(dst, a, b []float64, m, k, n int, transA, transB, acc bool) {
+	switch {
+	case transA && transB:
+		panic("tensor: Gemm transA && transB unsupported")
+	case transA:
+		gemmTAAVX(dst, a, b, m, k, n, acc)
+	case transB:
+		if w := matmulWorkerCount(m, m*k*n); w > 1 {
+			parallelRows(m, w, func(i0, i1 int) {
+				gemmTBRowsAVX(dst, a, b, i0, i1, k, n, acc)
+			})
+		} else {
+			gemmTBRowsAVX(dst, a, b, 0, m, k, n, acc)
+		}
+	default:
+		if w := matmulWorkerCount(m, m*k*n); w > 1 {
+			parallelRows(m, w, func(i0, i1 int) {
+				gemmNNRowsAVX(dst, a, b, i0, i1, k, n, acc)
+			})
+		} else {
+			gemmNNRowsAVX(dst, a, b, 0, m, k, n, acc)
+		}
+	}
+}
+
+// GemmBatch implements Backend by striding the group slabs through the
+// AVX2 single-multiply kernel.
+func (v avx2Backend) GemmBatch(dst, a, b []float64, groups, m, k, n, strideD, strideA, strideB int, transA, transB, acc bool) {
+	for i := 0; i < groups; i++ {
+		ai := a
+		if strideA != 0 {
+			ai = a[i*strideA:]
+		}
+		v.Gemm(dst[i*strideD:], ai, b[i*strideB:], m, k, n, transA, transB, acc)
+	}
+}
+
+// GemmTransBSegAcc implements Backend with the lane-parallel dot kernel;
+// segment structure (partials reset and folded per segment, ascending)
+// matches GoBackend exactly.
+func (avx2Backend) GemmTransBSegAcc(dst, a, b []float64, m, k, n, seg int) {
+	if seg <= 0 || k%seg != 0 {
+		panic("tensor: GemmTransBSegAcc segment must divide the reduction length")
+	}
+	for s0 := 0; s0 < k; s0 += seg {
+		for i := 0; i < m; i++ {
+			dotRowsAVX(dst[i*n:(i+1)*n], a[i*k+s0:i*k+s0+seg], b[s0:], k)
+		}
+	}
+}
+
+// Axpy implements Backend.
+func (avx2Backend) Axpy(alpha float64, src, dst []float64) {
+	axpyAVX(dst, src, alpha)
+}
+
+// gemmNNRowsAVX computes rows [i0,i1) of dst (=|+=) a·b as row-axpy
+// passes: dst row i accumulates a[i][p]·b[p][:] for p ascending, two
+// reduction steps per destination pass. Chain per element: ascending p,
+// one add per term, from 0 (after the zero fill) or the prior value —
+// identical to the scalar kernels.
+func gemmNNRowsAVX(dd, ad, bd []float64, i0, i1, k, n int, acc bool) {
+	for i := i0; i < i1; i++ {
+		drow := dd[i*n : (i+1)*n]
+		if !acc {
+			for j := range drow {
+				drow[j] = 0
+			}
+		}
+		arow := ad[i*k : (i+1)*k]
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			axpy4AVX(drow, bd[p*n:(p+1)*n], bd[(p+1)*n:(p+2)*n], bd[(p+2)*n:(p+3)*n], bd[(p+3)*n:(p+4)*n],
+				arow[p], arow[p+1], arow[p+2], arow[p+3])
+		}
+		if p+2 <= k {
+			axpy2AVX(drow, bd[p*n:(p+1)*n], bd[(p+1)*n:(p+2)*n], arow[p], arow[p+1])
+			p += 2
+		}
+		if p < k {
+			axpyAVX(drow, bd[p*n:(p+1)*n], arow[p])
+		}
+	}
+}
+
+// gemmTAAVX computes dst (=|+=) aᵀ·b (a stored k×m, dst m×n) as row-axpy
+// passes with the reduction index r ascending per destination row.
+func gemmTAAVX(dd, ad, bd []float64, m, k, n int, acc bool) {
+	for i := 0; i < m; i++ {
+		drow := dd[i*n : (i+1)*n]
+		if !acc {
+			for j := range drow {
+				drow[j] = 0
+			}
+		}
+		r := 0
+		for ; r+4 <= k; r += 4 {
+			axpy4AVX(drow, bd[r*n:(r+1)*n], bd[(r+1)*n:(r+2)*n], bd[(r+2)*n:(r+3)*n], bd[(r+3)*n:(r+4)*n],
+				ad[r*m+i], ad[(r+1)*m+i], ad[(r+2)*m+i], ad[(r+3)*m+i])
+		}
+		if r+2 <= k {
+			axpy2AVX(drow, bd[r*n:(r+1)*n], bd[(r+1)*n:(r+2)*n], ad[r*m+i], ad[(r+1)*m+i])
+			r += 2
+		}
+		if r < k {
+			axpyAVX(drow, bd[r*n:(r+1)*n], ad[r*m+i])
+		}
+	}
+}
+
+// gemmTBRowsAVX computes rows [i0,i1) of dst (=|+=) a·bᵀ (b stored n×k)
+// with the lane-parallel dot kernel.
+func gemmTBRowsAVX(dd, ad, bd []float64, i0, i1, k, n int, acc bool) {
+	for i := i0; i < i1; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := dd[i*n : (i+1)*n]
+		if acc {
+			dotRowsAVX(orow, arow, bd, k)
+		} else {
+			for j := 0; j < n; j++ {
+				orow[j] = dotAVX(arow, bd[j*k:(j+1)*k])
+			}
+		}
+	}
+}
+
+func init() {
+	if avx2Supported {
+		defaultBackend = avx2Backend{}
+		active = defaultBackend
+	}
+}
+
+// reluForward computes out/mask from x with the scalar semantics
+// out[i] = x[i] if x[i] > 0 else 0; the AVX2 path replaces the
+// data-dependent branch (a mispredict per random-signed element) with a
+// compare mask.
+func reluForward(out, x []float64, mask []bool) {
+	if avx2Supported {
+		reluFwdAVX(out, x, mask)
+		return
+	}
+	reluForwardGo(out, x, mask)
+}
+
+// maxPool2x2Plane dispatches to the AVX2 maxpool kernel when the plane
+// shape fits its vector width.
+func maxPool2x2Plane(dst []float64, am []int, src []float64, w, oh, ow, base int) bool {
+	if !avx2Supported || ow < 4 || ow%4 != 0 {
+		return false
+	}
+	maxPool2AVX(dst, am, src, w, oh, ow, base)
+	return true
+}
+
+// reluBackward computes dx[i] = g[i] if mask[i] else 0.
+func reluBackward(dx, g []float64, mask []bool) {
+	if avx2Supported {
+		reluBwdAVX(dx, g, mask)
+		return
+	}
+	reluBackwardGo(dx, g, mask)
+}

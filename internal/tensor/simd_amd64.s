@@ -1,0 +1,658 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 kernels. Bit-identity contract: only VMULPD/VADDPD (one rounding
+// per operation, no FMA) on independent lanes, accumulator always the
+// first source of each add — the same operation sequence per element as
+// the scalar Go kernels. See simd_amd64.go for the lane argument.
+
+// boolTab maps a 4-bit VMOVMSKPD result to 4 packed bool bytes
+// (byte i = bit i), so the ReLU mask store is one 32-bit move.
+DATA boolTab<>+0x00(SB)/4, $0x00000000
+DATA boolTab<>+0x04(SB)/4, $0x00000001
+DATA boolTab<>+0x08(SB)/4, $0x00000100
+DATA boolTab<>+0x0c(SB)/4, $0x00000101
+DATA boolTab<>+0x10(SB)/4, $0x00010000
+DATA boolTab<>+0x14(SB)/4, $0x00010001
+DATA boolTab<>+0x18(SB)/4, $0x00010100
+DATA boolTab<>+0x1c(SB)/4, $0x00010101
+DATA boolTab<>+0x20(SB)/4, $0x01000000
+DATA boolTab<>+0x24(SB)/4, $0x01000001
+DATA boolTab<>+0x28(SB)/4, $0x01000100
+DATA boolTab<>+0x2c(SB)/4, $0x01000101
+DATA boolTab<>+0x30(SB)/4, $0x01010000
+DATA boolTab<>+0x34(SB)/4, $0x01010001
+DATA boolTab<>+0x38(SB)/4, $0x01010100
+DATA boolTab<>+0x3c(SB)/4, $0x01010101
+GLOBL boolTab<>(SB), RODATA|NOPTR, $64
+
+// func hasAVX2() bool
+TEXT ·hasAVX2(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	SHRL $27, R8
+	ANDL $1, R8 // OSXSAVE
+	TESTL R8, R8
+	JZ   no
+	MOVL CX, R8
+	SHRL $28, R8
+	ANDL $1, R8 // AVX
+	TESTL R8, R8
+	JZ   no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX // XMM and YMM state enabled by the OS
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	SHRL $5, BX
+	ANDL $1, BX // AVX2
+	MOVB BX, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func axpyAVX(dst, x []float64, a float64)
+TEXT ·axpyAVX(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ x_base+24(FP), SI
+	VBROADCASTSD a+48(FP), Y0
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-8, BX
+
+loop8:
+	CMPQ AX, BX
+	JGE  tail4
+	VMOVUPD (DI)(AX*8), Y2
+	VMOVUPD 32(DI)(AX*8), Y3
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD 32(SI)(AX*8), Y5
+	VMULPD  Y0, Y4, Y4
+	VMULPD  Y0, Y5, Y5
+	VADDPD  Y4, Y2, Y2
+	VADDPD  Y5, Y3, Y3
+	VMOVUPD Y2, (DI)(AX*8)
+	VMOVUPD Y3, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  loop8
+
+tail4:
+	MOVQ CX, BX
+	ANDQ $-4, BX
+
+tail4loop:
+	CMPQ AX, BX
+	JGE  tail1
+	VMOVUPD (DI)(AX*8), Y2
+	VMOVUPD (SI)(AX*8), Y4
+	VMULPD  Y0, Y4, Y4
+	VADDPD  Y4, Y2, Y2
+	VMOVUPD Y2, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  tail4loop
+
+tail1:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSD (DI)(AX*8), X2
+	VMOVSD (SI)(AX*8), X4
+	VMULSD X0, X4, X4
+	VADDSD X4, X2, X2
+	VMOVSD X2, (DI)(AX*8)
+	INCQ AX
+	JMP  tail1
+
+done:
+	VZEROUPPER
+	RET
+
+// func axpy2AVX(dst, x0, x1 []float64, a0, a1 float64)
+TEXT ·axpy2AVX(SB), NOSPLIT, $0-88
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ x0_base+24(FP), SI
+	MOVQ x1_base+48(FP), DX
+	VBROADCASTSD a0+72(FP), Y0
+	VBROADCASTSD a1+80(FP), Y1
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-8, BX
+
+loop8:
+	CMPQ AX, BX
+	JGE  tail4
+	VMOVUPD (DI)(AX*8), Y2
+	VMOVUPD 32(DI)(AX*8), Y3
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD 32(SI)(AX*8), Y5
+	VMULPD  Y0, Y4, Y4
+	VMULPD  Y0, Y5, Y5
+	VADDPD  Y4, Y2, Y2
+	VADDPD  Y5, Y3, Y3
+	VMOVUPD (DX)(AX*8), Y4
+	VMOVUPD 32(DX)(AX*8), Y5
+	VMULPD  Y1, Y4, Y4
+	VMULPD  Y1, Y5, Y5
+	VADDPD  Y4, Y2, Y2
+	VADDPD  Y5, Y3, Y3
+	VMOVUPD Y2, (DI)(AX*8)
+	VMOVUPD Y3, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  loop8
+
+tail4:
+	MOVQ CX, BX
+	ANDQ $-4, BX
+
+tail4loop:
+	CMPQ AX, BX
+	JGE  tail1
+	VMOVUPD (DI)(AX*8), Y2
+	VMOVUPD (SI)(AX*8), Y4
+	VMULPD  Y0, Y4, Y4
+	VADDPD  Y4, Y2, Y2
+	VMOVUPD (DX)(AX*8), Y4
+	VMULPD  Y1, Y4, Y4
+	VADDPD  Y4, Y2, Y2
+	VMOVUPD Y2, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  tail4loop
+
+tail1:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSD (DI)(AX*8), X2
+	VMOVSD (SI)(AX*8), X4
+	VMULSD X0, X4, X4
+	VADDSD X4, X2, X2
+	VMOVSD (DX)(AX*8), X4
+	VMULSD X1, X4, X4
+	VADDSD X4, X2, X2
+	VMOVSD X2, (DI)(AX*8)
+	INCQ AX
+	JMP  tail1
+
+done:
+	VZEROUPPER
+	RET
+
+// func dotAVX(a, b []float64) float64
+TEXT ·dotAVX(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DX
+	VXORPD Y0, Y0, Y0 // lanes = partial sums s0..s3
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-4, BX
+
+loop4:
+	CMPQ AX, BX
+	JGE  lanes
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD (DX)(AX*8), Y2
+	VMULPD  Y2, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	ADDQ $4, AX
+	JMP  loop4
+
+lanes:
+	// X0 = {s0, s1}, X1 = {s2, s3}; scalar tail folds into s0 (lane 0).
+	VEXTRACTF128 $1, Y0, X1
+
+tail:
+	CMPQ AX, CX
+	JGE  collapse
+	VMOVSD (SI)(AX*8), X2
+	VMOVSD (DX)(AX*8), X3
+	VMULSD X3, X2, X2
+	VADDSD X2, X0, X0
+	INCQ AX
+	JMP  tail
+
+collapse:
+	// ((s0+s1)+s2)+s3, the scalar dot4 collapse order.
+	VUNPCKHPD X0, X0, X2 // X2 low = s1
+	VADDSD    X2, X0, X0
+	VUNPCKHPD X1, X1, X3 // X3 low = s3
+	VADDSD    X1, X0, X0 // += s2
+	VADDSD    X3, X0, X0 // += s3
+	VZEROUPPER
+	VMOVSD X0, ret+48(FP)
+	RET
+
+// func reluFwdAVX(out, x []float64, mask []bool)
+TEXT ·reluFwdAVX(SB), NOSPLIT, $0-72
+	MOVQ out_base+0(FP), DI
+	MOVQ out_len+8(FP), CX
+	MOVQ x_base+24(FP), SI
+	MOVQ mask_base+48(FP), R8
+	MOVQ $boolTab<>(SB), R11
+	VXORPD Y0, Y0, Y0
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-4, BX
+
+loop4:
+	CMPQ AX, BX
+	JGE  tail
+	VMOVUPD (SI)(AX*8), Y1
+	VCMPPD  $0x1e, Y0, Y1, Y2 // GT_OQ: x > 0, NaN -> false
+	VANDPD  Y1, Y2, Y3
+	VMOVUPD Y3, (DI)(AX*8)
+	VMOVMSKPD Y2, R9
+	MOVL    (R11)(R9*4), R10
+	MOVL    R10, (R8)(AX*1)
+	ADDQ $4, AX
+	JMP  loop4
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSD   (SI)(AX*8), X1
+	VUCOMISD X0, X1
+	JA   pos
+	MOVQ $0, (DI)(AX*8)
+	MOVB $0, (R8)(AX*1)
+	INCQ AX
+	JMP  tail
+
+pos:
+	VMOVSD X1, (DI)(AX*8)
+	MOVB   $1, (R8)(AX*1)
+	INCQ AX
+	JMP  tail
+
+done:
+	VZEROUPPER
+	RET
+
+// func reluBwdAVX(dx, g []float64, mask []bool)
+TEXT ·reluBwdAVX(SB), NOSPLIT, $0-72
+	MOVQ dx_base+0(FP), DI
+	MOVQ dx_len+8(FP), CX
+	MOVQ g_base+24(FP), SI
+	MOVQ mask_base+48(FP), R8
+	VPXOR Y0, Y0, Y0
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-4, BX
+
+loop4:
+	CMPQ AX, BX
+	JGE  tail
+	VPMOVZXBQ (R8)(AX*1), Y2
+	VPCMPEQQ  Y0, Y2, Y2      // lanes where mask == 0
+	VMOVUPD   (SI)(AX*8), Y1
+	VANDNPD   Y1, Y2, Y3      // g where mask != 0, else 0
+	VMOVUPD   Y3, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  loop4
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	MOVBLZX (R8)(AX*1), R9
+	TESTL   R9, R9
+	JZ   zero
+	MOVQ (SI)(AX*8), R10
+	MOVQ R10, (DI)(AX*8)
+	INCQ AX
+	JMP  tail
+
+zero:
+	MOVQ $0, (DI)(AX*8)
+	INCQ AX
+	JMP  tail
+
+done:
+	VZEROUPPER
+	RET
+
+// func dotRowsAVX(dst, aseg, b []float64, stride int)
+// For each j: dst[j] += dot4(aseg, b[j*stride : j*stride+len(aseg)]) —
+// one call per destination row instead of one per dot, with the same
+// 4-lane partial structure and collapse order as dotAVX. Rows are
+// processed in independent pairs (two accumulator chains hide the
+// VADDPD latency and share each aseg load); each j's own chain is
+// unchanged.
+TEXT ·dotRowsAVX(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX   // n
+	MOVQ aseg_base+24(FP), SI
+	MOVQ aseg_len+32(FP), R9 // seg
+	MOVQ b_base+48(FP), DX
+	MOVQ stride+72(FP), R10
+	SHLQ $3, R10             // stride in bytes
+	MOVQ R9, R12
+	ANDQ $-4, R12
+	XORQ R13, R13            // j
+
+pairloop:
+	LEAQ 1(R13), AX
+	CMPQ AX, CX
+	JGE  single              // fewer than two rows left
+	MOVQ DX, BX
+	LEAQ (DX)(R10*1), R14
+	VXORPD Y0, Y0, Y0
+	VXORPD Y5, Y5, Y5
+	XORQ AX, AX
+
+pdot:
+	CMPQ AX, R12
+	JGE  ptail
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD (BX)(AX*8), Y2
+	VMOVUPD (R14)(AX*8), Y3
+	VMULPD  Y2, Y1, Y2
+	VADDPD  Y2, Y0, Y0
+	VMULPD  Y3, Y1, Y3
+	VADDPD  Y3, Y5, Y5
+	ADDQ $4, AX
+	JMP  pdot
+
+ptail:
+	VEXTRACTF128 $1, Y0, X1
+	VEXTRACTF128 $1, Y5, X6
+
+ptail1:
+	CMPQ AX, R9
+	JGE  pcollapse
+	VMOVSD (SI)(AX*8), X2
+	VMOVSD (BX)(AX*8), X3
+	VMULSD X3, X2, X3
+	VADDSD X3, X0, X0
+	VMOVSD (R14)(AX*8), X4
+	VMULSD X4, X2, X4
+	VADDSD X4, X5, X5
+	INCQ AX
+	JMP  ptail1
+
+pcollapse:
+	VUNPCKHPD X0, X0, X2
+	VADDSD    X2, X0, X0
+	VUNPCKHPD X1, X1, X3
+	VADDSD    X1, X0, X0
+	VADDSD    X3, X0, X0
+	VMOVSD (DI)(R13*8), X4
+	VADDSD X0, X4, X4
+	VMOVSD X4, (DI)(R13*8)
+	VUNPCKHPD X5, X5, X2
+	VADDSD    X2, X5, X5
+	VUNPCKHPD X6, X6, X3
+	VADDSD    X6, X5, X5
+	VADDSD    X3, X5, X5
+	VMOVSD 8(DI)(R13*8), X4
+	VADDSD X5, X4, X4
+	VMOVSD X4, 8(DI)(R13*8)
+	LEAQ (DX)(R10*2), DX
+	ADDQ $2, R13
+	JMP  pairloop
+
+single:
+	CMPQ R13, CX
+	JGE  done
+	MOVQ DX, BX
+	VXORPD Y0, Y0, Y0
+	XORQ AX, AX
+
+dotloop:
+	CMPQ AX, R12
+	JGE  dtail
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD (BX)(AX*8), Y2
+	VMULPD  Y2, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	ADDQ $4, AX
+	JMP  dotloop
+
+dtail:
+	VEXTRACTF128 $1, Y0, X1
+
+dtail1:
+	CMPQ AX, R9
+	JGE  collapse
+	VMOVSD (SI)(AX*8), X2
+	VMOVSD (BX)(AX*8), X3
+	VMULSD X3, X2, X2
+	VADDSD X2, X0, X0
+	INCQ AX
+	JMP  dtail1
+
+collapse:
+	VUNPCKHPD X0, X0, X2
+	VADDSD    X2, X0, X0
+	VUNPCKHPD X1, X1, X3
+	VADDSD    X1, X0, X0
+	VADDSD    X3, X0, X0
+	VMOVSD (DI)(R13*8), X4
+	VADDSD X0, X4, X4
+	VMOVSD X4, (DI)(R13*8)
+	ADDQ R10, DX
+	INCQ R13
+	JMP  single
+
+done:
+	VZEROUPPER
+	RET
+
+// poolLaneIdx seeds the 2x2 maxpool index vector: the input column index
+// of each lane's first candidate, relative to the row-pair start.
+DATA poolLaneIdx<>+0x00(SB)/8, $0
+DATA poolLaneIdx<>+0x08(SB)/8, $2
+DATA poolLaneIdx<>+0x10(SB)/8, $4
+DATA poolLaneIdx<>+0x18(SB)/8, $6
+GLOBL poolLaneIdx<>(SB), RODATA|NOPTR, $32
+
+// func maxPool2AVX(dst []float64, am []int, src []float64, w, oh, ow, base int)
+// Non-overlapping 2x2 stride-2 max pooling with argmax over one channel
+// plane, 4 output elements per iteration. Each lane replays the scalar
+// loop exactly: best starts at -Inf, index at -1, and the four window
+// candidates are tested in (dy, dx) ascending order with a strict >
+// compare (GT_OQ, so NaN never wins) and mask blends. ow must be a
+// positive multiple of 4.
+TEXT ·maxPool2AVX(SB), NOSPLIT, $0-104
+	MOVQ dst_base+0(FP), DI
+	MOVQ am_base+24(FP), R8
+	MOVQ src_base+48(FP), SI
+	MOVQ w+72(FP), R10
+	MOVQ oh+80(FP), R9
+	MOVQ ow+88(FP), CX
+	SHRQ $2, CX              // vector iterations per output row
+	MOVQ base+96(FP), R12
+
+	MOVQ $0xFFF0000000000000, AX
+	VMOVQ AX, X15
+	VPBROADCASTQ X15, Y15    // -Inf
+	VMOVUPD poolLaneIdx<>+0(SB), Y14
+	MOVQ $8, AX
+	VMOVQ AX, X13
+	VPBROADCASTQ X13, Y13    // per-iteration index advance
+	VMOVQ R10, X12
+	VPBROADCASTQ X12, Y12    // W
+	MOVQ $1, AX
+	VMOVQ AX, X11
+	VPBROADCASTQ X11, Y11    // 1
+	VPCMPEQQ Y10, Y10, Y10   // -1
+	SHLQ $3, R10             // W in bytes
+	MOVQ SI, BX              // row0
+
+rowloop:
+	TESTQ R9, R9
+	JZ   done
+	LEAQ (BX)(R10*1), R11    // row1
+	VMOVQ R12, X4
+	VPBROADCASTQ X4, Y4
+	VPADDQ Y14, Y4, Y4       // lane candidate-(0,0) indices
+	XORQ DX, DX              // byte offset into the row pair
+	MOVQ CX, R13
+
+iter:
+	TESTQ R13, R13
+	JZ   nextrow
+	// Deinterleave 8 consecutive row elements into even/odd columns.
+	VMOVUPD (BX)(DX*1), Y0
+	VMOVUPD 32(BX)(DX*1), Y1
+	VSHUFPD $0x0, Y1, Y0, Y2
+	VPERMPD $0xd8, Y2, Y2    // candidates (0,0)
+	VSHUFPD $0xf, Y1, Y0, Y3
+	VPERMPD $0xd8, Y3, Y3    // candidates (0,1)
+	VMOVUPD (R11)(DX*1), Y0
+	VMOVUPD 32(R11)(DX*1), Y1
+	VSHUFPD $0x0, Y1, Y0, Y6
+	VPERMPD $0xd8, Y6, Y6    // candidates (1,0)
+	VSHUFPD $0xf, Y1, Y0, Y7
+	VPERMPD $0xd8, Y7, Y7    // candidates (1,1)
+
+	VMOVUPD Y15, Y8          // best = -Inf
+	VMOVUPD Y10, Y9          // bestIdx = -1
+
+	VCMPPD $0x1e, Y8, Y2, Y0
+	VBLENDVPD Y0, Y2, Y8, Y8
+	VBLENDVPD Y0, Y4, Y9, Y9
+
+	VPADDQ Y11, Y4, Y1
+	VCMPPD $0x1e, Y8, Y3, Y0
+	VBLENDVPD Y0, Y3, Y8, Y8
+	VBLENDVPD Y0, Y1, Y9, Y9
+
+	VPADDQ Y12, Y4, Y1
+	VCMPPD $0x1e, Y8, Y6, Y0
+	VBLENDVPD Y0, Y6, Y8, Y8
+	VBLENDVPD Y0, Y1, Y9, Y9
+
+	VPADDQ Y12, Y4, Y1
+	VPADDQ Y11, Y1, Y1
+	VCMPPD $0x1e, Y8, Y7, Y0
+	VBLENDVPD Y0, Y7, Y8, Y8
+	VBLENDVPD Y0, Y1, Y9, Y9
+
+	VMOVUPD Y8, (DI)
+	VMOVUPD Y9, (R8)
+	VPADDQ Y13, Y4, Y4
+	ADDQ $64, DX
+	ADDQ $32, DI
+	ADDQ $32, R8
+	DECQ R13
+	JMP  iter
+
+nextrow:
+	LEAQ (BX)(R10*2), BX
+	MOVQ w+72(FP), AX
+	LEAQ (R12)(AX*2), R12
+	DECQ R9
+	JMP  rowloop
+
+done:
+	VZEROUPPER
+	RET
+
+// func axpy4AVX(dst, x0, x1, x2, x3 []float64, a0, a1, a2, a3 float64)
+// dst[i] += a0*x0[i], then += a1*x1[i], += a2*x2[i], += a3*x3[i] — four
+// reduction steps per destination pass, adds in ascending order per
+// element exactly like four successive scalar axpy rows.
+TEXT ·axpy4AVX(SB), NOSPLIT, $0-152
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ x0_base+24(FP), SI
+	MOVQ x1_base+48(FP), DX
+	MOVQ x2_base+72(FP), R11
+	MOVQ x3_base+96(FP), R14
+	VBROADCASTSD a0+120(FP), Y0
+	VBROADCASTSD a1+128(FP), Y1
+	VBROADCASTSD a2+136(FP), Y6
+	VBROADCASTSD a3+144(FP), Y7
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-8, BX
+
+loop8:
+	CMPQ AX, BX
+	JGE  tail4
+	VMOVUPD (DI)(AX*8), Y2
+	VMOVUPD 32(DI)(AX*8), Y3
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD 32(SI)(AX*8), Y5
+	VMULPD  Y0, Y4, Y4
+	VMULPD  Y0, Y5, Y5
+	VADDPD  Y4, Y2, Y2
+	VADDPD  Y5, Y3, Y3
+	VMOVUPD (DX)(AX*8), Y4
+	VMOVUPD 32(DX)(AX*8), Y5
+	VMULPD  Y1, Y4, Y4
+	VMULPD  Y1, Y5, Y5
+	VADDPD  Y4, Y2, Y2
+	VADDPD  Y5, Y3, Y3
+	VMOVUPD (R11)(AX*8), Y4
+	VMOVUPD 32(R11)(AX*8), Y5
+	VMULPD  Y6, Y4, Y4
+	VMULPD  Y6, Y5, Y5
+	VADDPD  Y4, Y2, Y2
+	VADDPD  Y5, Y3, Y3
+	VMOVUPD (R14)(AX*8), Y4
+	VMOVUPD 32(R14)(AX*8), Y5
+	VMULPD  Y7, Y4, Y4
+	VMULPD  Y7, Y5, Y5
+	VADDPD  Y4, Y2, Y2
+	VADDPD  Y5, Y3, Y3
+	VMOVUPD Y2, (DI)(AX*8)
+	VMOVUPD Y3, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  loop8
+
+tail4:
+	MOVQ CX, BX
+	ANDQ $-4, BX
+
+tail4loop:
+	CMPQ AX, BX
+	JGE  tail1
+	VMOVUPD (DI)(AX*8), Y2
+	VMOVUPD (SI)(AX*8), Y4
+	VMULPD  Y0, Y4, Y4
+	VADDPD  Y4, Y2, Y2
+	VMOVUPD (DX)(AX*8), Y4
+	VMULPD  Y1, Y4, Y4
+	VADDPD  Y4, Y2, Y2
+	VMOVUPD (R11)(AX*8), Y4
+	VMULPD  Y6, Y4, Y4
+	VADDPD  Y4, Y2, Y2
+	VMOVUPD (R14)(AX*8), Y4
+	VMULPD  Y7, Y4, Y4
+	VADDPD  Y4, Y2, Y2
+	VMOVUPD Y2, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  tail4loop
+
+tail1:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSD (DI)(AX*8), X2
+	VMOVSD (SI)(AX*8), X4
+	VMULSD X0, X4, X4
+	VADDSD X4, X2, X2
+	VMOVSD (DX)(AX*8), X4
+	VMULSD X1, X4, X4
+	VADDSD X4, X2, X2
+	VMOVSD (R11)(AX*8), X4
+	VMULSD X6, X4, X4
+	VADDSD X4, X2, X2
+	VMOVSD (R14)(AX*8), X4
+	VMULSD X7, X4, X4
+	VADDSD X4, X2, X2
+	VMOVSD X2, (DI)(AX*8)
+	INCQ AX
+	JMP  tail1
+
+done:
+	VZEROUPPER
+	RET

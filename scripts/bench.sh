@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the perf-tracking benchmarks and emit a machine-readable
-# snapshot (default BENCH_pr7.json) so the repo's performance trajectory
+# snapshot (default BENCH_pr8.json) so the repo's performance trajectory
 # is diffable across PRs.
 #
 # Usage:
@@ -18,8 +18,11 @@
 #              the tree-reduce fold and lazy shard synthesis
 #              (BenchmarkTreeReduce, BenchmarkLazyShardSynthesis), the
 #              million-client Figure-7 cell with its peak_rss_mb record
-#              (BenchmarkFig7_MillionClients), and the kernel
-#              micro-benches)
+#              (BenchmarkFig7_MillionClients), the kernel micro-benches,
+#              and the batched-kernel pair (BenchmarkBatchedMatMul fused
+#              vs looped, BenchmarkTrainAllFanout at widths 1/4/8 — the
+#              fanout series records that client fusion stays
+#              perf-neutral while bit-identical))
 #
 # Each JSON record carries ns_per_op, allocs_per_op, bytes_per_op and
 # mb_per_op as reported by -benchmem, plus any domain metrics the bench
@@ -29,9 +32,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr7.json}
+OUT=${1:-BENCH_pr8.json}
 BENCHTIME=${BENCHTIME:-1x}
-BENCH=${BENCH:-'BenchmarkRoundParallel|BenchmarkExperimentScheduler|BenchmarkTransportCodecs|BenchmarkReducers|BenchmarkAsyncRound|BenchmarkTreeReduce|BenchmarkLazyShard|BenchmarkTable|BenchmarkFig|BenchmarkAblation|BenchmarkTheory|BenchmarkCrossAggr|BenchmarkCosineSimilarity|BenchmarkSimilarityMatrix|BenchmarkLocalTrainingCNN|BenchmarkLandscapeScan'}
+BENCH=${BENCH:-'BenchmarkRoundParallel|BenchmarkExperimentScheduler|BenchmarkTransportCodecs|BenchmarkReducers|BenchmarkAsyncRound|BenchmarkTreeReduce|BenchmarkLazyShard|BenchmarkTable|BenchmarkFig|BenchmarkAblation|BenchmarkTheory|BenchmarkCrossAggr|BenchmarkCosineSimilarity|BenchmarkSimilarityMatrix|BenchmarkLocalTrainingCNN|BenchmarkLandscapeScan|BenchmarkBatchedMatMul|BenchmarkTrainAllFanout'}
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
