@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -617,6 +618,176 @@ func BenchmarkLazyShardSynthesis(b *testing.B) {
 			}
 			b.ReportMetric(float64(leases)/time.Since(start).Seconds(), "shards/s")
 			b.ReportMetric(float64(src.Resident()), "resident")
+		})
+	}
+}
+
+// singleMutexLazy replicates the pre-striping lease path the sharded
+// cache replaced — one mutex over the whole cache, row synthesis under
+// that lock, and an O(resident) eviction scan — as the frozen baseline
+// for BenchmarkLazyShardSynthesisParallel. The CI perf gate holds the
+// striped path at ≥3× this implementation under contention.
+type singleMutexLazy struct {
+	mu       sync.Mutex
+	base     *data.Dataset
+	asg      *data.Assignment
+	capacity int
+	cache    map[int]*smShard
+	tick     uint64
+}
+
+type smShard struct {
+	ds     *data.Dataset
+	leases int
+	used   uint64
+}
+
+func (l *singleMutexLazy) Shard(id int) *data.Dataset {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.cache[id]; ok {
+		l.tick++
+		e.leases++
+		e.used = l.tick
+		return e.ds
+	}
+	ds := l.base.Subset(l.asg.Rows(id)) // synthesized under the global lock
+	for len(l.cache) >= l.capacity {
+		victim, best := -1, uint64(0)
+		for cid, e := range l.cache {
+			if e.leases > 0 {
+				continue
+			}
+			if victim < 0 || e.used < best {
+				victim, best = cid, e.used
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		delete(l.cache, victim)
+	}
+	l.tick++
+	l.cache[id] = &smShard{ds: ds, leases: 1, used: l.tick}
+	return ds
+}
+
+func (l *singleMutexLazy) Release(id int) {
+	l.mu.Lock()
+	l.cache[id].leases--
+	l.mu.Unlock()
+}
+
+// BenchmarkLazyShardSynthesisParallel is the contended lease path at
+// huge-K scale: NumCPU workers lease/release a K=4096 population through
+// a 512-slot cache (every lease a miss-plus-evict, the steady state of a
+// million-client round), baseline single-mutex vs the ID-sharded cache
+// at 64 stripes. Striping wins twice: synthesis runs outside the lock
+// (parallel across cores) and the eviction scan shrinks from O(resident)
+// to O(resident/stripes). Reports shards/s; CI gates striped ≥3×
+// baseline.
+func BenchmarkLazyShardSynthesisParallel(b *testing.B) {
+	cfg := data.VisionConfig{
+		Classes: 10, Features: models.VisionFeatures,
+		TrainPerClass: 100, TestPerClass: 1,
+		ModesPerClass: 2, Sep: 0.6, Noise: 0.8, Seed: 1,
+	}
+	train, _ := data.GenerateVision(cfg)
+	const n = 4096
+	const capacity = 512
+	asg := data.AssignDirichlet(train, n, 0.5, tensor.NewRNG(2))
+	var ids []int
+	for ci := 0; ci < n; ci++ {
+		if asg.Size(ci) > 0 {
+			ids = append(ids, ci)
+		}
+	}
+	workers := runtime.NumCPU()
+	hammer := func(b *testing.B, shard func(int) *data.Dataset, release func(int)) {
+		start := time.Now()
+		leases := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					// Stride so each worker sweeps every stripe and
+					// same-id collisions across workers are routine.
+					for j := w; j < len(ids); j += workers {
+						ci := ids[j]
+						shard(ci)
+						release(ci)
+					}
+				}(w)
+			}
+			wg.Wait()
+			leases += len(ids)
+		}
+		b.ReportMetric(float64(leases)/time.Since(start).Seconds(), "shards/s")
+	}
+	b.Run("baseline", func(b *testing.B) {
+		src := &singleMutexLazy{base: train, asg: asg, capacity: capacity, cache: map[int]*smShard{}}
+		hammer(b, src.Shard, src.Release)
+	})
+	b.Run("striped", func(b *testing.B) {
+		src := data.NewLazyStriped(train, asg, capacity, 64)
+		hammer(b, src.Shard, src.Release)
+		if src.Outstanding() != 0 {
+			b.Fatalf("%d leases outstanding after bench", src.Outstanding())
+		}
+	})
+}
+
+// BenchmarkLazyShardPrefetchOverlap measures the lease phase a round
+// actually waits on: cold (every shard synthesized at lease time — the
+// serial prepare phase of a huge-K round) vs warmed (the cohort handed
+// to the background pool beforehand, as the engines do with
+// PrefetchRounds > 0, so leases are pure cache hits). Per-iteration
+// setup and the warm-up itself run off the clock; the gap is the
+// wall-clock a training round no longer spends preparing shards.
+func BenchmarkLazyShardPrefetchOverlap(b *testing.B) {
+	cfg := data.VisionConfig{
+		Classes: 10, Features: models.VisionFeatures,
+		TrainPerClass: 100, TestPerClass: 1,
+		ModesPerClass: 2, Sep: 0.6, Noise: 0.8, Seed: 1,
+	}
+	train, _ := data.GenerateVision(cfg)
+	const n = 1024
+	asg := data.AssignDirichlet(train, n, 0.5, tensor.NewRNG(2))
+	var ids []int
+	for ci := 0; ci < n; ci++ {
+		if asg.Size(ci) > 0 {
+			ids = append(ids, ci)
+		}
+	}
+	leasePhase := func(src *data.Lazy) {
+		for _, ci := range ids {
+			src.Shard(ci)
+			src.Release(ci)
+		}
+	}
+	for _, warmed := range []bool{false, true} {
+		name := "cold"
+		if warmed {
+			name = "warmed"
+		}
+		b.Run(name, func(b *testing.B) {
+			start := time.Duration(0)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				src := data.NewLazy(train, asg, n)
+				if warmed {
+					src.Prefetch(ids)
+					src.WaitPrefetch()
+				}
+				b.StartTimer()
+				t0 := time.Now()
+				leasePhase(src)
+				start += time.Since(t0)
+			}
+			b.ReportMetric(float64(b.N*len(ids))/start.Seconds(), "shards/s")
 		})
 	}
 }

@@ -28,8 +28,11 @@ func main() {
 	prof := experiments.TinyProfile()
 	prof.NumClients = *clients
 
-	switch *dataset {
-	case "vision10", "vision100":
+	switch {
+	// Populations past the lazy cutoff synthesize shards on demand — a
+	// class × client heat map at that N is unreadable anyway, so huge
+	// vision runs get the per-client summary (plus cache telemetry) too.
+	case (*dataset == "vision10" || *dataset == "vision100") && *clients < experiments.LazyClientCutoff:
 		opts := experiments.Fig3Options{Profile: prof, ShowClients: *show, Seed: *seed}
 		for _, part := range strings.Split(*betas, ",") {
 			b, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
@@ -53,10 +56,10 @@ func main() {
 		fmt.Printf("%s: %d clients, %d training samples, %d test samples, %d classes\n",
 			env.Fed.Name, env.NumClients(), env.Fed.TotalTrainSamples(), env.Fed.Test.Len(), env.Fed.Classes)
 		fmt.Println("client\tsamples\ttop-class-share")
-		for i := 0; i < env.NumClients(); i++ {
-			if i >= *show {
-				fmt.Printf("... (%d more clients)\n", env.NumClients()-*show)
-				break
+		shown := 0
+		for i := 0; i < env.NumClients() && shown < *show; i++ {
+			if !env.Fed.Trainable(i) {
+				continue // huge lazy populations are mostly empty clients
 			}
 			shard := env.Fed.LeaseShard(i)
 			counts := shard.ClassCounts()
@@ -68,6 +71,17 @@ func main() {
 			}
 			fmt.Printf("%d\t%d\t%.2f\n", i, shard.Len(), float64(maxC)/float64(shard.Len()))
 			env.Fed.ReleaseShard(i)
+			shown++
+		}
+		if rest := env.NumClients() - shown; rest > 0 {
+			fmt.Printf("... (%d more clients)\n", rest)
+		}
+		// Lazy sources expose their shard-cache counters; eager
+		// federations (small N, LEAF tasks) have no cache and skip the
+		// line.
+		if stats, ok := env.Fed.SourceStats(); ok {
+			fmt.Printf("shard cache: %d resident / %d stripes, %d hits (%d prefetched), %d misses, %d evictions\n",
+				stats.Resident, stats.Stripes, stats.Hits, stats.PrefetchHits, stats.Misses, stats.Evictions)
 		}
 	}
 }

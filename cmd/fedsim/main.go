@@ -52,6 +52,11 @@
 // demand from the partition seed, so N=10^6 holds only the LRU working
 // set resident; -rsslimitmb makes the run fail if peak RSS (VmHWM)
 // exceeds the ceiling — the memory-boundedness gate CI relies on.
+// -stripes and -cachecap tune the lazy shard cache's lock geometry and
+// resident capacity, and -prefetch hands that many future rounds of
+// planned cohorts to a background pool that synthesizes their shards
+// while the current round trains. All three are wall-clock/memory knobs
+// only: histories are bit-identical at every setting.
 package main
 
 import (
@@ -101,6 +106,9 @@ func main() {
 		buffer      = flag.Int("buffer", 0, "async commit buffer size B outside the sweep (0 = default 4)")
 		inflight    = flag.Int("inflight", 0, "async concurrent clients M outside the sweep (0 = clients per round)")
 		staleExp    = flag.Float64("staleexp", 0, "async staleness-weight exponent p in 1/(1+s)^p (0 = default 0.5)")
+		prefetchR   = flag.Int("prefetch", 0, "rounds of cohort lookahead handed to the lazy source's background prefetch pool (0 = off; results are identical)")
+		stripes     = flag.Int("stripes", 0, "lazy shard-cache stripe count (0 = auto: clamp(NumCPU,8,64); results are identical)")
+		cacheCap    = flag.Int("cachecap", 0, "lazy shard-cache resident capacity (0 = auto: clamp(4K,64,4096))")
 	)
 	flag.Parse()
 
@@ -108,8 +116,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *rounds < 0 {
+		fatal(fmt.Errorf("-rounds %d must be non-negative", *rounds))
+	}
 	if *rounds > 0 {
 		prof.Rounds = *rounds
+	}
+	if *clients < 0 {
+		fatal(fmt.Errorf("-clients %d must be non-negative", *clients))
+	}
+	if *kFlag < 0 {
+		fatal(fmt.Errorf("-k %d must be non-negative", *kFlag))
 	}
 	if *clients > 0 {
 		prof.NumClients = *clients
@@ -118,8 +135,23 @@ func main() {
 		}
 	}
 	if *kFlag > 0 {
+		if *kFlag > prof.NumClients {
+			fatal(fmt.Errorf("-k %d exceeds the client population N=%d (raise -clients or lower -k)", *kFlag, prof.NumClients))
+		}
 		prof.ClientsPerRound = *kFlag
 	}
+	if *prefetchR < 0 {
+		fatal(fmt.Errorf("-prefetch %d must be non-negative", *prefetchR))
+	}
+	prof.PrefetchRounds = *prefetchR
+	if *stripes < 0 {
+		fatal(fmt.Errorf("-stripes %d must be non-negative", *stripes))
+	}
+	prof.CacheStripes = *stripes
+	if *cacheCap < 0 {
+		fatal(fmt.Errorf("-cachecap %d must be non-negative", *cacheCap))
+	}
+	prof.CacheCap = *cacheCap
 	if *rssLimitMB < 0 {
 		fatal(fmt.Errorf("-rsslimitmb %d must be non-negative", *rssLimitMB))
 	}
@@ -153,6 +185,9 @@ func main() {
 	prof.AttackScale = *attackScale
 	if err := (fl.AdversaryOptions{Attack: prof.Attack, Frac: prof.AttackFrac, Scale: prof.AttackScale}).Validate(); err != nil {
 		fatal(err)
+	}
+	if *seeds < 0 {
+		fatal(fmt.Errorf("-seeds %d must be non-negative", *seeds))
 	}
 	if *seeds > 0 {
 		prof.Seeds = prof.Seeds[:0]

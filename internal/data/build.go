@@ -23,11 +23,18 @@ func BuildVision(cfg VisionConfig, numClients int, het Heterogeneity, partitionS
 // shards (≤ 0 selects data.DefaultLazyCapacity). This is the constructor
 // for million-client federations where the eager layout cannot fit.
 func BuildVisionLazy(cfg VisionConfig, numClients int, het Heterogeneity, partitionSeed int64, capacity int) *Federated {
+	return BuildVisionLazyStriped(cfg, numClients, het, partitionSeed, capacity, 0)
+}
+
+// BuildVisionLazyStriped is BuildVisionLazy with an explicit shard-cache
+// stripe count (≤ 0 selects data.DefaultCacheStripes; see
+// NewLazyStriped). Stripe geometry never changes shard bytes.
+func BuildVisionLazyStriped(cfg VisionConfig, numClients int, het Heterogeneity, partitionSeed int64, capacity, stripes int) *Federated {
 	train, test := GenerateVision(cfg)
 	rng := tensor.NewRNG(partitionSeed)
 	return &Federated{
 		Name:    visionName(cfg) + "/" + het.String(),
-		Source:  NewLazy(train, het.Assign(train, numClients, rng), capacity),
+		Source:  NewLazyStriped(train, het.Assign(train, numClients, rng), capacity, stripes),
 		Test:    test,
 		Classes: cfg.Classes,
 	}

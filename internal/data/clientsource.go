@@ -2,7 +2,6 @@ package data
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 )
 
@@ -64,113 +63,3 @@ func (m *Materialized) Release(id int) {
 
 // Outstanding returns the live lease count.
 func (m *Materialized) Outstanding() int { return int(m.outstanding.Load()) }
-
-// Lazy synthesizes shards on demand from an Assignment over a shared
-// immutable base dataset, caching them in a bounded lease-aware LRU: a
-// leased entry is pinned (never evicted), an unleased entry is evicted in
-// least-recently-used order once the cache exceeds its capacity. Shard
-// synthesis copies rows out of the base (Dataset.Subset), so cached
-// shards never alias base storage and the base stays immutable — the same
-// copy-on-lease structure the experiments EnvCache uses for environments.
-type Lazy struct {
-	base     *Dataset
-	asg      *Assignment
-	capacity int
-
-	mu          sync.Mutex
-	cache       map[int]*lazyShard
-	tick        uint64
-	outstanding int64
-}
-
-type lazyShard struct {
-	ds     *Dataset
-	leases int
-	used   uint64
-}
-
-// DefaultLazyCapacity bounds the shard cache when the caller passes a
-// non-positive capacity.
-const DefaultLazyCapacity = 256
-
-// NewLazy builds a lazy source over base with the given assignment.
-// capacity bounds the number of resident shards (≤ 0 selects
-// DefaultLazyCapacity); leased shards can push the resident count past
-// the bound, which shrinks back as leases are released.
-func NewLazy(base *Dataset, asg *Assignment, capacity int) *Lazy {
-	if capacity <= 0 {
-		capacity = DefaultLazyCapacity
-	}
-	return &Lazy{base: base, asg: asg, capacity: capacity, cache: map[int]*lazyShard{}}
-}
-
-// NumClients returns the assignment's client count.
-func (l *Lazy) NumClients() int { return l.asg.NumClients() }
-
-// Size returns client id's sample count from assignment metadata alone.
-func (l *Lazy) Size(id int) int { return l.asg.Size(id) }
-
-// Shard leases client id's shard, synthesizing it into the cache on a
-// miss and evicting the least-recently-used unleased entry when over
-// capacity.
-func (l *Lazy) Shard(id int) *Dataset {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.tick++
-	if e, ok := l.cache[id]; ok {
-		e.leases++
-		e.used = l.tick
-		l.outstanding++
-		return e.ds
-	}
-	if len(l.cache) >= l.capacity {
-		l.evictLocked()
-	}
-	e := &lazyShard{ds: l.base.Subset(l.asg.Rows(id)), leases: 1, used: l.tick}
-	l.cache[id] = e
-	l.outstanding++
-	return e.ds
-}
-
-// evictLocked drops the least-recently-used unleased entry, if any.
-func (l *Lazy) evictLocked() {
-	victim, best := -1, uint64(0)
-	for id, e := range l.cache {
-		if e.leases > 0 {
-			continue
-		}
-		if victim < 0 || e.used < best {
-			victim, best = id, e.used
-		}
-	}
-	if victim >= 0 {
-		delete(l.cache, victim)
-	}
-}
-
-// Release returns a lease taken by Shard.
-func (l *Lazy) Release(id int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	e, ok := l.cache[id]
-	if !ok || e.leases <= 0 {
-		panic(fmt.Sprintf("data: Lazy.Release(%d) without a matching Shard lease", id))
-	}
-	e.leases--
-	l.outstanding--
-}
-
-// Outstanding returns the live lease count.
-func (l *Lazy) Outstanding() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return int(l.outstanding)
-}
-
-// Resident returns the number of shards currently synthesized — the
-// cache-pressure observable the scale tests assert on.
-func (l *Lazy) Resident() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.cache)
-}

@@ -178,6 +178,16 @@ func (f *Federated) OutstandingLeases() int {
 	return 0
 }
 
+// SourceStats returns the source's cache telemetry when the federation
+// is virtualized behind a source that exposes it (the lazy LRU); eager
+// federations and plain sources report ok = false.
+func (f *Federated) SourceStats() (CacheStats, bool) {
+	if s, ok := f.Source.(CacheStatser); ok {
+		return s.CacheStats(), true
+	}
+	return CacheStats{}, false
+}
+
 // Trainable reports whether client ci holds at least one sample. Eager
 // federations report every client trainable so empty shards still
 // surface the legacy "empty shard" training error; virtualized

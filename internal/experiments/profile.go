@@ -52,6 +52,16 @@ type Profile struct {
 	// Parallelism combination is safe — and results are bit-identical at
 	// every setting (see Scheduler).
 	Jobs int
+	// PrefetchRounds is how many future rounds of planned cohorts each
+	// run warms through the lazy source's background pool
+	// (fl.Config.PrefetchRounds): 0 disables lookahead. Histories are
+	// bit-identical at every setting; prefetch moves wall-clock only.
+	PrefetchRounds int
+	// CacheStripes overrides the lazy shard cache's stripe count and
+	// CacheCap its resident-shard capacity (0 = auto for both: stripes
+	// clamp(NumCPU, 8, 64), capacity clamp(4K, 64, 4096)). Both are
+	// wall-clock/memory knobs — shard bytes never change.
+	CacheStripes, CacheCap int
 	// Codec, Network and DeadlineSec configure the simulated wire every
 	// run's payloads travel over (fl.Config.Transport). Zero values mean
 	// the pass-through reference wire.
@@ -133,6 +143,8 @@ func (p Profile) Config(seed int64) fl.Config {
 		Seed:            seed,
 		Parallelism:     p.Parallelism,
 		BatchFanout:     p.BatchFanout,
+		PrefetchRounds:  p.PrefetchRounds,
+		CacheStripes:    p.CacheStripes,
 		Transport: fl.TransportOptions{
 			Codec:       p.Codec,
 			Network:     p.Network,
@@ -224,8 +236,12 @@ func (p Profile) BuildEnv(dataset, model string, het data.Heterogeneity, seed in
 			return nil, err
 		}
 		if p.NumClients >= LazyClientCutoff {
-			cap := clampInt(4*p.ClientsPerRound, 64, 4096)
-			return &fl.Env{Fed: data.BuildVisionLazy(cfg, p.NumClients, het, seed+1000, cap), Model: fac}, nil
+			cap := p.CacheCap
+			if cap <= 0 {
+				cap = clampInt(4*p.ClientsPerRound, 64, 4096)
+			}
+			fed := data.BuildVisionLazyStriped(cfg, p.NumClients, het, seed+1000, cap, p.CacheStripes)
+			return &fl.Env{Fed: fed, Model: fac}, nil
 		}
 		return &fl.Env{Fed: data.BuildVision(cfg, p.NumClients, het, seed+1000), Model: fac}, nil
 

@@ -154,6 +154,17 @@ func RunAsync(env *Env, cfg Config, opts AsyncOptions) (*History, error) {
 	env = adv.ShadowEnv(env)
 	n = env.NumClients() // virtual sybils extend the shadow population
 
+	// The async engine's "plan" is the dispatch draw itself: a client's
+	// shard is not touched until the batched training pass of the next
+	// arrival pop, so warming it at dispatch overlaps synthesis with the
+	// folds, evaluations and arrivals in between. Prefetch draws no RNG,
+	// so histories are bit-identical with it on or off.
+	restripeSource(env, cfg)
+	prefetch := sourcePrefetcher(env, cfg)
+	if prefetch != nil {
+		defer prefetch.CancelPrefetch()
+	}
+
 	global := nn.FlattenParams(env.Model.New(initRNG.Split()).Params())
 	dim := len(global)
 	wireBytes := codec.EncodedSize(dim)
@@ -201,10 +212,18 @@ func RunAsync(env *Env, cfg Config, opts AsyncOptions) (*History, error) {
 		dispatches int
 	)
 
+	var prefetchBuf [1]int
 	dispatch := func() {
 		idx := selRNG.Intn(len(available))
 		client := available[idx]
 		available = append(available[:idx], available[idx+1:]...)
+		if prefetch != nil {
+			// Warm the dispatched client's shard now; it is trained no
+			// earlier than the next arrival pop. Prefetch copies the id
+			// synchronously, so the buffer is immediately reusable.
+			prefetchBuf[0] = client
+			prefetch.Prefetch(prefetchBuf[:])
+		}
 		// Per-dispatch simulated times, drawn in a fixed order: link
 		// multipliers exactly like Transport.BeginRound, then compute.
 		down, up, lat := mbpsToBytesPerSec(netModel.DownMbps), mbpsToBytesPerSec(netModel.UpMbps), netModel.LatencySec

@@ -315,6 +315,42 @@ func (s *shadowSource) Release(id int) { s.inner.Release(s.mapID(id)) }
 // Outstanding passes through to the inner source.
 func (s *shadowSource) Outstanding() int { return s.inner.Outstanding() }
 
+// Prefetch forwards a planned cohort to the inner source's warming pool
+// with virtual sybil ids folded onto the real shards they recycle.
+// Label-flip poisoning happens on the leased view, so warming the real
+// shard is exactly what a later shadow lease consumes. No-op when the
+// inner source cannot prefetch.
+func (s *shadowSource) Prefetch(ids []int) {
+	p, ok := s.inner.(data.Prefetcher)
+	if !ok {
+		return
+	}
+	mapped := make([]int, len(ids))
+	for i, id := range ids {
+		if id < 0 {
+			mapped[i] = id
+			continue
+		}
+		mapped[i] = s.mapID(id)
+	}
+	p.Prefetch(mapped)
+}
+
+// CancelPrefetch forwards the early-exit drain to the inner source.
+func (s *shadowSource) CancelPrefetch() {
+	if p, ok := s.inner.(data.Prefetcher); ok {
+		p.CancelPrefetch()
+	}
+}
+
+// Restripe forwards the cache-geometry knob to the inner source.
+func (s *shadowSource) Restripe(stripes int) bool {
+	if rs, ok := s.inner.(data.Restriper); ok {
+		return rs.Restripe(stripes)
+	}
+	return false
+}
+
 // flipLabels returns a dataset sharing d's features with labels mapped to
 // Classes−1−y.
 func flipLabels(d *data.Dataset) *data.Dataset {

@@ -66,6 +66,22 @@ type Config struct {
 	// bit-identical to solo training: fusion changes only how the
 	// arithmetic is scheduled, never its results.
 	BatchFanout int
+	// PrefetchRounds is how many future rounds of planned cohorts the
+	// engines hand to the data layer's background prefetch pool while the
+	// current round trains (see data.Prefetcher): with a lazy client
+	// source, round r+1's shards are synthesized concurrently with round
+	// r's training, hiding the serial prepare phase of huge-K rounds. 0
+	// (the default) disables lookahead. Prefetch only warms the shard
+	// cache — it never draws RNG and is disabled automatically for
+	// Selector algorithms, whose next cohort depends on round state — so
+	// histories are bit-identical at every setting.
+	PrefetchRounds int
+	// CacheStripes overrides the lazy shard cache's stripe count before
+	// the first lease (see data.NewLazyStriped): 0 (the default) keeps
+	// the source's construction-time geometry. Stripes move lock
+	// placement only, never shard bytes — results are bit-identical at
+	// every stripe count.
+	CacheStripes int
 	// Budget, when non-nil, is the shared worker-token pool this run's
 	// training and evaluation fan-outs lease goroutines from — set by the
 	// experiment scheduler so concurrently running grid cells never
@@ -111,6 +127,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fl: Parallelism = %d, must be non-negative", c.Parallelism)
 	case c.BatchFanout < 0:
 		return fmt.Errorf("fl: BatchFanout = %d, must be non-negative", c.BatchFanout)
+	case c.PrefetchRounds < 0:
+		return fmt.Errorf("fl: PrefetchRounds = %d, must be non-negative", c.PrefetchRounds)
+	case c.CacheStripes < 0:
+		return fmt.Errorf("fl: CacheStripes = %d, must be non-negative", c.CacheStripes)
 	}
 	if err := c.Adversary.Validate(); err != nil {
 		return err

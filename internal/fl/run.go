@@ -162,19 +162,46 @@ func Run(algo Algorithm, env *Env, cfg Config) (*History, error) {
 	if tu, ok := algo.(TransportUser); ok {
 		tu.SetTransport(tr)
 	}
+	// Cache geometry and prefetch both resolve against the shadow view:
+	// the stripe knob reaches the real source through the adversary
+	// wrapper, and prefetched sybil ids fold onto the real shards they
+	// recycle. Neither touches RNG, so histories are unchanged.
+	restripeSource(env, cfg)
+	prefetch := sourcePrefetcher(env, cfg)
+	if prefetch != nil {
+		// Early exits (round errors) must not leave pool goroutines
+		// synthesizing into a cache nobody will read.
+		defer prefetch.CancelPrefetch()
+	}
 	if err := algo.Init(env, cfg, initRNG); err != nil {
 		return nil, fmt.Errorf("fl: Run: init %s: %w", algo.Name(), err)
 	}
 	hist := &History{Algorithm: algo.Name()}
 	var acct Accountant
 	genFrac := 0.25 // generators are a quarter model, cf. comm.go
+	planner := newCohortPlanner(algo, selRNG, n, k)
 
 	for r := 0; r < cfg.Rounds; r++ {
-		selected := selectClients(algo, r, selRNG, n, k)
+		selected := planner.Take(r)
 		if cfg.DropoutRate > 0 {
 			for i := range selected {
 				if dropRNG.Float64() < cfg.DropoutRate {
 					selected[i] = -1
+				}
+			}
+		}
+		// Hand the next rounds' planned cohorts to the background pool
+		// before training starts, so their shards synthesize while this
+		// round computes. The planner draws those cohorts now, but from
+		// the same selRNG positions they would occupy anyway — selection
+		// is a dedicated stream, so early draws are invisible. Prefetch
+		// enqueues pre-dropout plans (a dropped client's warm shard is
+		// merely unused) and copies the ids before returning, so the
+		// round loop's later in-place dropout marking never races it.
+		if prefetch != nil {
+			for a := 1; a <= cfg.PrefetchRounds && r+a < cfg.Rounds; a++ {
+				if ids := planner.Ahead(r + a); ids != nil {
+					prefetch.Prefetch(ids)
 				}
 			}
 		}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the perf-tracking benchmarks and emit a machine-readable
-# snapshot (default BENCH_pr8.json) so the repo's performance trajectory
+# snapshot (default BENCH_pr9.json) so the repo's performance trajectory
 # is diffable across PRs.
 #
 # Usage:
@@ -15,8 +15,13 @@
 #              jobs-NumCPU is the grid-level speedup record — the
 #              aggregation-rule suite (BenchmarkReducers), the
 #              buffered-async engine (BenchmarkAsyncRound, arrivals/s),
-#              the tree-reduce fold and lazy shard synthesis
-#              (BenchmarkTreeReduce, BenchmarkLazyShardSynthesis), the
+#              the tree-reduce fold and the lazy shard-cache suite
+#              (BenchmarkTreeReduce, BenchmarkLazyShardSynthesis, plus
+#              the striped-cache records: BenchmarkLazyShardSynthesis-
+#              Parallel baseline-vs-striped under NumCPU-way contention
+#              — the ≥3× ratio CI gates — and BenchmarkLazyShard-
+#              PrefetchOverlap cold-vs-warmed, the lease-phase latency
+#              the cohort prefetcher hides), the
 #              million-client Figure-7 cell with its peak_rss_mb record
 #              (BenchmarkFig7_MillionClients), the kernel micro-benches,
 #              and the batched-kernel pair (BenchmarkBatchedMatMul fused
@@ -32,7 +37,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr8.json}
+OUT=${1:-BENCH_pr9.json}
 BENCHTIME=${BENCHTIME:-1x}
 BENCH=${BENCH:-'BenchmarkRoundParallel|BenchmarkExperimentScheduler|BenchmarkTransportCodecs|BenchmarkReducers|BenchmarkAsyncRound|BenchmarkTreeReduce|BenchmarkLazyShard|BenchmarkTable|BenchmarkFig|BenchmarkAblation|BenchmarkTheory|BenchmarkCrossAggr|BenchmarkCosineSimilarity|BenchmarkSimilarityMatrix|BenchmarkLocalTrainingCNN|BenchmarkLandscapeScan|BenchmarkBatchedMatMul|BenchmarkTrainAllFanout'}
 
