@@ -11,8 +11,11 @@ package fedcross
 // cmd/fedsim -profile paper.
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -938,5 +941,87 @@ func BenchmarkTrainAllFanout(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFaultedRound measures the round engine under the full fault
+// mix — crashes, wire drops/truncation/corruption, duplicates, retries
+// and a quorum — against the identical benign configuration. The
+// faulted/benign ns/op ratio is the injection overhead (the plan is a
+// pure hash, so it should be noise), and the fault telemetry lands as
+// domain metrics for the BENCH trajectory.
+func BenchmarkFaultedRound(b *testing.B) {
+	prof := experiments.TinyProfile()
+	prof.Rounds = 4
+	prof.EvalEvery = 0
+	prof.NumClients = 16
+	prof.ClientsPerRound = 8
+	prof.Parallelism = runtime.NumCPU()
+	cases := []struct {
+		name   string
+		faults fl.FaultOptions
+	}{
+		{"benign", fl.FaultOptions{}},
+		{"faulted", fl.FaultOptions{
+			CrashRate: 0.1, DropRate: 0.1, TruncateRate: 0.05,
+			CorruptRate: 0.05, DuplicateRate: 0.05, StraggleRate: 0.1,
+		}},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			prof.Faults = bc.faults
+			prof.MinUploads = 2
+			prof.Retries = 2
+			prof.RetryBackoffSec = 0.05
+			env, err := prof.BuildEnv("vision10", "cnn", data.Heterogeneity{Beta: 0.5}, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hist, err := fl.Run(core.MustNew(core.DefaultOptions()), env, prof.Config(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(hist.Crashes+hist.FaultDrops)/float64(prof.Rounds), "faults/round")
+				b.ReportMetric(float64(hist.Retries)/float64(prof.Rounds), "retries/round")
+			}
+		})
+	}
+}
+
+// BenchmarkCheckpointRoundTrip measures the crash-safety tax: a run
+// killed at its final round boundary (training + write-ahead snapshot)
+// and the resume leg that reloads the snapshot and reconstructs the
+// byte-identical history. snapshot_kb records the on-disk footprint of
+// the full engine state — model, algorithm tensors, RNG positions,
+// transport counters and metric history.
+func BenchmarkCheckpointRoundTrip(b *testing.B) {
+	prof := experiments.TinyProfile()
+	prof.Rounds = 2
+	prof.EvalEvery = 0
+	prof.NumClients = 16
+	prof.ClientsPerRound = 8
+	env, err := prof.BuildEnv("vision10", "cnn", data.Heterogeneity{Beta: 0.5}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("bench-%d.ckpt", i))
+		killed := prof.Config(1)
+		killed.Checkpoint = fl.CheckpointOptions{Path: path, StopAfterRound: prof.Rounds}
+		if _, err := fl.Run(core.MustNew(core.DefaultOptions()), env, killed); !errors.Is(err, fl.ErrStopped) {
+			b.Fatal(err)
+		}
+		resumed := prof.Config(1)
+		resumed.Checkpoint = fl.CheckpointOptions{Path: path, Resume: true}
+		if _, err := fl.Run(core.MustNew(core.DefaultOptions()), env, resumed); err != nil {
+			b.Fatal(err)
+		}
+		if fi, err := os.Stat(path); err == nil {
+			b.ReportMetric(float64(fi.Size())/1024, "snapshot_kb")
+		}
 	}
 }

@@ -15,6 +15,12 @@
 //	fedsim -experiment async -buffers 1,4,8 -staleexp 0.5
 //	fedsim -experiment table2 -reducer krum -attack scale -attackfrac 0.1
 //	fedsim -experiment fig7 -clients 1000000 -rsslimitmb 2048
+//	fedsim -experiment faults -faultlevels 0,0.05,0.1 -quorum 2 -retries 2
+//	fedsim -experiment churn -clients 100000 -avails 1,0.7,0.4
+//	fedsim -experiment resume                  # crash/resume equality gate
+//	fedsim -experiment table2 -faults crash=0.1,drop=0.1 -quorum 2
+//	fedsim -experiment table2 -checkpoint run.ckpt -stopafter 4   # kill …
+//	fedsim -experiment table2 -checkpoint run.ckpt -resume        # … resume
 //
 // Profiles: tiny (seconds), small (minutes), paper (the scaled
 // paper-shaped setup; hours for the full grid). Every experiment grid
@@ -46,6 +52,19 @@
 // -inflight pin a single cell. Attacked and async runs keep the same
 // fixed-seed determinism as everything else.
 //
+// Fault tolerance: -faults injects deterministic client crashes, payload
+// drops/truncation/corruption/duplication, stragglers and server stalls
+// (key=value spec, pure functions of the seed — rate 0 is bit-identical
+// to a fault-free run), -retries/-retrybackoff give uploads deadline-aware
+// retry attempts, and -quorum lets a round degrade (keep the current
+// model) instead of aggregating below the floor. -churn drives diurnal
+// availability traces and a population ramp. -checkpoint writes
+// write-ahead round snapshots (-checkpointevery n rounds, -stopafter
+// simulates a kill at a round boundary) and -resume continues a killed
+// run to a byte-identical final history. The faults/churn experiments
+// sweep -faultlevels/-avails on identical runs; the resume experiment is
+// a pass/fail equality gate over every algorithm (not part of "all").
+//
 // Scale: -clients overrides the client population N (the fig7 sweep
 // then runs that single N), -k overrides the activated clients per
 // round. Populations at or above the lazy cutoff synthesize shards on
@@ -60,6 +79,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -75,7 +95,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "table1", "experiment to run: table1, table2, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, comm, robust, async, ablations, all")
+		experiment  = flag.String("experiment", "table1", "experiment to run: table1, table2, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, comm, robust, async, ablations, faults, churn, resume, all")
 		profile     = flag.String("profile", "tiny", "run scale: tiny, small, paper")
 		modelsFlag  = flag.String("models", "cnn", "comma-separated vision models (cnn,resnet,vgg,mlp)")
 		datasets    = flag.String("datasets", "vision10", "comma-separated datasets for table2")
@@ -106,6 +126,19 @@ func main() {
 		buffer      = flag.Int("buffer", 0, "async commit buffer size B outside the sweep (0 = default 4)")
 		inflight    = flag.Int("inflight", 0, "async concurrent clients M outside the sweep (0 = clients per round)")
 		staleExp    = flag.Float64("staleexp", 0, "async staleness-weight exponent p in 1/(1+s)^p (0 = default 0.5)")
+		algosFlag    = flag.String("algos", "", "comma-separated algorithm subset for table2 and the resume experiment (empty = all six); restricting to one algorithm makes -checkpoint/-resume single-cell")
+		faultsSpec   = flag.String("faults", "", "fault-injection spec, e.g. crash=0.1,drop=0.05,truncate=0.01,corrupt=0.01,dup=0.02,straggle=0.1,stragglefactor=4,stall=0.05,stallsec=1 (empty = fault-free)")
+		faultLevels  = flag.String("faultlevels", "", "comma-separated fault intensities for the faults experiment (empty = 0,0.05,0.1)")
+		quorum       = flag.Int("quorum", 0, "minimum accepted uploads per round; below it the round degrades (keeps the current model) instead of aggregating (0 = no quorum)")
+		retries      = flag.Int("retries", 0, "upload retry attempts after a wire fault (0 = none)")
+		retryBackoff = flag.Float64("retrybackoff", 0, "simulated seconds added per upload retry attempt")
+		churnSpec    = flag.String("churn", "", "availability-churn spec, e.g. avail=0.7,period=24,jitter=0.3,start=1,end=0.5 (empty = static fleet)")
+		avails       = flag.String("avails", "", "comma-separated mean availabilities for the churn experiment (empty = 1,0.7,0.4)")
+		checkpoint   = flag.String("checkpoint", "", "round-snapshot file for crash-safe runs (empty = no checkpointing)")
+		ckptEvery    = flag.Int("checkpointevery", 0, "write a snapshot every n completed rounds (0 = only at -stopafter)")
+		resumeFlag   = flag.Bool("resume", false, "resume from the -checkpoint snapshot instead of starting at round 0")
+		stopAfter    = flag.Int("stopafter", 0, "halt after this round completes, writing a snapshot (simulated kill; 0 = run to completion)")
+		stopsFlag    = flag.String("stops", "", "comma-separated kill rounds for the resume experiment (empty = 1, mid, last-1)")
 		prefetchR   = flag.Int("prefetch", 0, "rounds of cohort lookahead handed to the lazy source's background prefetch pool (0 = off; results are identical)")
 		stripes     = flag.Int("stripes", 0, "lazy shard-cache stripe count (0 = auto: clamp(NumCPU,8,64); results are identical)")
 		cacheCap    = flag.Int("cachecap", 0, "lazy shard-cache resident capacity (0 = auto: clamp(4K,64,4096))")
@@ -186,6 +219,52 @@ func main() {
 	if err := (fl.AdversaryOptions{Attack: prof.Attack, Frac: prof.AttackFrac, Scale: prof.AttackScale}).Validate(); err != nil {
 		fatal(err)
 	}
+	algoList := splitList(*algosFlag)
+	for _, a := range algoList {
+		if _, err := experiments.NewAlgorithm(a); err != nil {
+			fatal(fmt.Errorf("-algos: %w", err))
+		}
+	}
+	faultOpts, err := parseFaultSpec(*faultsSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if err := faultOpts.Validate(); err != nil {
+		fatal(err)
+	}
+	prof.Faults = faultOpts
+	if *quorum < 0 {
+		fatal(fmt.Errorf("-quorum %d must be non-negative", *quorum))
+	}
+	if *quorum > prof.ClientsPerRound {
+		fatal(fmt.Errorf("-quorum %d exceeds the %d activated clients per round (no round could ever meet it)", *quorum, prof.ClientsPerRound))
+	}
+	prof.MinUploads = *quorum
+	if *retries < 0 {
+		fatal(fmt.Errorf("-retries %d must be non-negative", *retries))
+	}
+	prof.Retries = *retries
+	if *retryBackoff < 0 {
+		fatal(fmt.Errorf("-retrybackoff %v must be non-negative", *retryBackoff))
+	}
+	prof.RetryBackoffSec = *retryBackoff
+	churnOpts, err := parseChurnSpec(*churnSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if err := churnOpts.Validate(); err != nil {
+		fatal(err)
+	}
+	prof.Churn = churnOpts
+	prof.Checkpoint = fl.CheckpointOptions{
+		Path:           *checkpoint,
+		Every:          *ckptEvery,
+		Resume:         *resumeFlag,
+		StopAfterRound: *stopAfter,
+	}
+	if err := prof.Checkpoint.Validate(); err != nil {
+		fatal(err)
+	}
 	if *seeds < 0 {
 		fatal(fmt.Errorf("-seeds %d must be non-negative", *seeds))
 	}
@@ -222,6 +301,7 @@ func main() {
 		case "table2":
 			res, err := experiments.RunTableII(experiments.TableIIOptions{
 				Profile: prof, Models: modelList, Datasets: datasetList, Hets: hetList,
+				Algorithms: algoList,
 			})
 			if err != nil {
 				return err
@@ -376,6 +456,69 @@ func main() {
 				return err
 			}
 			return res.Render(os.Stdout)
+		case "faults":
+			opts := experiments.DefaultFaultGridOptions()
+			opts.Profile = prof
+			opts.Model = modelList[0]
+			lv, err := parseFloats(*faultLevels)
+			if err != nil {
+				return err
+			}
+			if len(lv) > 0 {
+				opts.Levels = lv
+			}
+			opts.MinUploads = *quorum
+			opts.Retries = *retries
+			opts.RetryBackoffSec = *retryBackoff
+			res, err := experiments.RunFaultGrid(opts)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "churn":
+			opts := experiments.DefaultChurnGridOptions()
+			opts.Profile = prof
+			opts.Model = modelList[0]
+			av, err := parseFloats(*avails)
+			if err != nil {
+				return err
+			}
+			if len(av) > 0 {
+				opts.Availabilities = av
+			}
+			if churnOpts.Jitter > 0 {
+				opts.Jitter = churnOpts.Jitter
+			}
+			if churnOpts.StartFrac > 0 {
+				opts.StartFrac = churnOpts.StartFrac
+			}
+			if churnOpts.EndFrac > 0 {
+				opts.EndFrac = churnOpts.EndFrac
+			}
+			res, err := experiments.RunChurnGrid(opts)
+			if err != nil {
+				return err
+			}
+			return res.Render(os.Stdout)
+		case "resume":
+			opts := experiments.DefaultResumeCheckOptions()
+			opts.Profile = prof
+			opts.Model = modelList[0]
+			if len(algoList) > 0 {
+				opts.Algorithms = algoList
+			}
+			st, err := parseInts(*stopsFlag)
+			if err != nil {
+				return err
+			}
+			opts.StopRounds = st
+			res, err := experiments.RunResumeCheck(opts)
+			if res != nil {
+				if rerr := res.Render(os.Stdout); rerr != nil && err == nil {
+					err = rerr
+				}
+			}
+			return err
 		case "ablations":
 			aopts := experiments.DefaultAblationOptions()
 			aopts.Profile = prof
@@ -406,10 +549,15 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "comm", "robust", "async", "ablations"}
+		names = []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "comm", "robust", "async", "ablations", "faults", "churn"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {
+			if errors.Is(err, fl.ErrStopped) {
+				fmt.Printf("%s: run stopped at round %d; snapshot written to %s (continue with -resume)\n",
+					name, *stopAfter, *checkpoint)
+				continue
+			}
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		fmt.Println()
@@ -522,6 +670,77 @@ func parseHets(betas string, iid bool) ([]data.Heterogeneity, error) {
 		return nil, fmt.Errorf("-betas is empty and -iid=false: no heterogeneity setting left to run")
 	}
 	return hets, nil
+}
+
+// parseFaultSpec decodes the -faults key=value spec into fault options.
+func parseFaultSpec(s string) (fl.FaultOptions, error) {
+	var o fl.FaultOptions
+	for _, part := range splitList(s) {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return o, fmt.Errorf("bad -faults entry %q (want key=value, e.g. crash=0.1)", part)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return o, fmt.Errorf("bad -faults value in %q: %w", part, err)
+		}
+		switch strings.TrimSpace(k) {
+		case "crash":
+			o.CrashRate = x
+		case "drop":
+			o.DropRate = x
+		case "truncate":
+			o.TruncateRate = x
+		case "corrupt":
+			o.CorruptRate = x
+		case "dup", "duplicate":
+			o.DuplicateRate = x
+		case "straggle":
+			o.StraggleRate = x
+		case "stragglefactor":
+			o.StraggleFactor = x
+		case "stall":
+			o.StallRate = x
+		case "stallsec":
+			o.StallSec = x
+		default:
+			return o, fmt.Errorf("unknown -faults key %q (want crash, drop, truncate, corrupt, dup, straggle, stragglefactor, stall, stallsec)", k)
+		}
+	}
+	return o, nil
+}
+
+// parseChurnSpec decodes the -churn key=value spec into churn options.
+func parseChurnSpec(s string) (fl.ChurnOptions, error) {
+	var o fl.ChurnOptions
+	for _, part := range splitList(s) {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return o, fmt.Errorf("bad -churn entry %q (want key=value, e.g. avail=0.7)", part)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return o, fmt.Errorf("bad -churn value in %q: %w", part, err)
+		}
+		switch strings.TrimSpace(k) {
+		case "avail", "availability":
+			o.Availability = x
+		case "period":
+			if x != float64(int(x)) || x < 0 {
+				return o, fmt.Errorf("bad -churn period %q: want a non-negative integer round count", part)
+			}
+			o.PeriodRounds = int(x)
+		case "jitter":
+			o.Jitter = x
+		case "start":
+			o.StartFrac = x
+		case "end":
+			o.EndFrac = x
+		default:
+			return o, fmt.Errorf("unknown -churn key %q (want avail, period, jitter, start, end)", k)
+		}
+	}
+	return o, nil
 }
 
 func fatal(err error) {

@@ -166,11 +166,14 @@ func (a *CluSamp) Round(r int, selected []int) error {
 	if err != nil {
 		return fmt.Errorf("baselines: clusamp round %d: %w", r, err)
 	}
-	for j, up := range uploads {
-		a.updates[clients[j]] = up.Sub(recv)
-	}
 	if len(uploads) == 0 {
 		return nil
+	}
+	if a.cfg.MinUploads > 0 && len(uploads) < a.cfg.MinUploads {
+		return nil // degraded round: keep the model and the gradient memory
+	}
+	for j, up := range uploads {
+		a.updates[clients[j]] = up.Sub(recv)
 	}
 	a.global, err = reduce(a.cfg, a.global, uploads, weights)
 	if err != nil {

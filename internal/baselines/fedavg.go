@@ -65,7 +65,13 @@ func (a *FedAvg) Global() nn.ParamVector { return a.global }
 // fl.Reducer (nil keeps the legacy weighted mean, bit-identical). When
 // the non-finite screen drops every upload the current model survives
 // unchanged — a fully poisoned round behaves like a fully dropped one.
+// A configured quorum (Config.MinUploads) degrades the round the same
+// way: below it, the server keeps its current model rather than folding
+// a thin cohort.
 func reduce(cfg fl.Config, cur nn.ParamVector, uploads []nn.ParamVector, weights []float64) (nn.ParamVector, error) {
+	if cfg.MinUploads > 0 && len(uploads) < cfg.MinUploads {
+		return cur, nil
+	}
 	agg, err := fl.ReduceUploads(cfg.Reducer, uploads, weights)
 	if errors.Is(err, fl.ErrNoFiniteUploads) {
 		return cur, nil

@@ -174,6 +174,9 @@ func (a *FedGen) Round(r int, selected []int) error {
 	if len(uploads) == 0 {
 		return nil
 	}
+	if a.cfg.MinUploads > 0 && len(uploads) < a.cfg.MinUploads {
+		return nil // degraded round: keep the global model and the generator
+	}
 	a.global, err = reduce(a.cfg, a.global, uploads, weights)
 	if err != nil {
 		return fmt.Errorf("baselines: fedgen round %d: %w", r, err)

@@ -92,6 +92,12 @@ func (a *SCAFFOLD) Round(r int, selected []int) error {
 
 	var modelDeltaSum, variateDeltaSum nn.ParamVector
 	var models []nn.ParamVector // reducer path: the server-visible uploads
+	// Variate refreshes are collected and applied only after the round
+	// commits: a below-quorum (degraded) round must leave every cᵢ — not
+	// just x and c — exactly as it found them. Clients are distinct
+	// within a round, so deferring the map writes changes no arithmetic.
+	pendingClients := make([]int, 0, len(results))
+	pendingVariates := make([]nn.ParamVector, 0, len(results))
 	participants := 0
 	for j, res := range results {
 		ci := jobs[j].Client
@@ -123,11 +129,22 @@ func (a *SCAFFOLD) Round(r int, selected []int) error {
 		if a.cfg.Reducer != nil {
 			models = append(models, model)
 		}
-		a.ci[ci] = variate
+		pendingClients = append(pendingClients, ci)
+		// Clone: tr.Up may return a transport- or adversary-owned scratch
+		// buffer that is only valid until the next BeginRound, but cᵢ
+		// lives for the whole run. Retaining the alias would let a later
+		// round's wire traffic rewrite stored variates in place.
+		pendingVariates = append(pendingVariates, variate.Clone())
 		participants++
 	}
 	if participants == 0 {
 		return nil
+	}
+	if a.cfg.MinUploads > 0 && participants < a.cfg.MinUploads {
+		return nil // degraded round: x, c and every cᵢ stay as they were
+	}
+	for i, ci := range pendingClients {
+		a.ci[ci] = pendingVariates[i]
 	}
 	// Server updates: x ← x + (1/|S|)·Σ(yᵢ−x); c ← c + (|S|/N)·mean variate delta.
 	// The x-update algebraically equals the plain mean of the uploaded

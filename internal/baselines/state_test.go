@@ -1,0 +1,130 @@
+package baselines
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fedcross/internal/data"
+	"fedcross/internal/fl"
+	"fedcross/internal/tensor"
+)
+
+// baselineFactories builds a fresh instance per call — kill/resume runs
+// must never share algorithm state.
+func baselineFactories(t *testing.T) map[string]func() fl.Algorithm {
+	t.Helper()
+	return map[string]func() fl.Algorithm{
+		"fedavg": func() fl.Algorithm { return NewFedAvg() },
+		"fedprox": func() fl.Algorithm {
+			a, err := NewFedProx(0.01)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		},
+		"scaffold": func() fl.Algorithm { return NewSCAFFOLD() },
+		"fedgen": func() fl.Algorithm {
+			a, err := NewFedGen(DefaultFedGenOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		},
+		"clusamp": func() fl.Algorithm { return NewCluSamp() },
+	}
+}
+
+// stateCfg runs the baselines under faults, a quorum and an adversary so
+// the snapshot must carry every piece of live state across the kill.
+func stateCfg(par int) fl.Config {
+	cfg := testCfg(6)
+	cfg.EvalEvery = 1
+	cfg.Parallelism = par
+	cfg.Faults = fl.FaultOptions{CrashRate: 0.2, DropRate: 0.2, StallRate: 0.2}
+	cfg.MinUploads = 2
+	cfg.Transport = fl.TransportOptions{Retries: 1, RetryBackoffSec: 0.1}
+	cfg.Adversary = fl.AdversaryOptions{Attack: fl.AttackSignFlip, Frac: 0.25}
+	return cfg
+}
+
+// TestBaselineKillResumeBitIdentity: every baseline killed at a round
+// boundary and resumed from its snapshot reproduces the uninterrupted
+// history byte-for-byte — control variates, gradient memory, generator
+// and optimizer state included.
+func TestBaselineKillResumeBitIdentity(t *testing.T) {
+	dir := t.TempDir()
+	for name, mk := range baselineFactories(t) {
+		for _, par := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/par%d", name, par), func(t *testing.T) {
+				full, err := fl.Run(mk(), testEnv(1, 8, data.Heterogeneity{Beta: 0.5}), stateCfg(par))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, stop := range []int{1, 3, 5} {
+					path := filepath.Join(dir, fmt.Sprintf("%s-%d-%d.ckpt", name, par, stop))
+					killed := stateCfg(par)
+					killed.Checkpoint = fl.CheckpointOptions{Path: path, StopAfterRound: stop}
+					if _, err := fl.Run(mk(), testEnv(1, 8, data.Heterogeneity{Beta: 0.5}), killed); !errors.Is(err, fl.ErrStopped) {
+						t.Fatalf("stop %d: want ErrStopped, got %v", stop, err)
+					}
+					resumed := stateCfg(par)
+					resumed.Checkpoint = fl.CheckpointOptions{Path: path, Resume: true}
+					h, err := fl.Run(mk(), testEnv(1, 8, data.Heterogeneity{Beta: 0.5}), resumed)
+					if err != nil {
+						t.Fatalf("stop %d: %v", stop, err)
+					}
+					if !reflect.DeepEqual(full, h) {
+						t.Fatalf("stop %d: resumed history diverged", stop)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBaselineStateRejectsHostileBytes: a truncated or corrupted state
+// stream fails LoadState with an error — never a panic, never a silently
+// half-loaded algorithm.
+func TestBaselineStateRejectsHostileBytes(t *testing.T) {
+	env := testEnv(2, 6, data.Heterogeneity{IID: true})
+	cfg := testCfg(2)
+	for name, mk := range baselineFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			algo := mk()
+			if err := algo.Init(env, cfg, tensor.NewRNG(7)); err != nil {
+				t.Fatal(err)
+			}
+			ck, ok := algo.(fl.RoundCheckpointer)
+			if !ok {
+				t.Fatalf("%s must implement fl.RoundCheckpointer", name)
+			}
+			var buf bytes.Buffer
+			if err := ck.SaveState(&buf); err != nil {
+				t.Fatal(err)
+			}
+
+			fresh := mk()
+			if err := fresh.Init(env, cfg, tensor.NewRNG(7)); err != nil {
+				t.Fatal(err)
+			}
+			fck := fresh.(fl.RoundCheckpointer)
+			if err := fck.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatalf("round-trip of valid state failed: %v", err)
+			}
+			for _, hostile := range [][]byte{
+				buf.Bytes()[:buf.Len()/2],
+				buf.Bytes()[:1],
+				nil,
+				[]byte("garbage state bytes"),
+			} {
+				if err := fck.LoadState(bytes.NewReader(hostile)); err == nil {
+					t.Fatal("hostile state bytes must fail to load")
+				}
+			}
+		})
+	}
+}

@@ -127,3 +127,31 @@ func (f *FedCross) Load(r io.Reader) error {
 	f.middleware = mid
 	return nil
 }
+
+// SaveState implements fl.RoundCheckpointer: the middleware list in the
+// standalone checkpoint format, followed by the algorithm RNG's (seed,
+// position) snapshot. The spare/upload/recv buffers are per-round
+// scratch and rebuilt on the first resumed round.
+func (f *FedCross) SaveState(w io.Writer) error {
+	if err := f.Save(w); err != nil {
+		return err
+	}
+	return nn.WriteRNG(w, f.rng)
+}
+
+// LoadState implements fl.RoundCheckpointer. Init has already run (it
+// precedes any resume), so options and buffers are in place; Load
+// replaces the middleware wholesale and the restored RNG resumes the
+// shuffle/split stream at its checkpointed position.
+func (f *FedCross) LoadState(r io.Reader) error {
+	if err := f.Load(r); err != nil {
+		return err
+	}
+	rng, err := nn.ReadRNG(r)
+	if err != nil {
+		return fmt.Errorf("core: LoadState rng: %w", err)
+	}
+	f.rng = rng
+	f.spare = nil
+	return nil
+}

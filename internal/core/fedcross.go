@@ -279,6 +279,7 @@ func (f *FedCross) Round(r int, selected []int) error {
 	}
 	uploads := make([]nn.ParamVector, k)
 	copy(uploads, f.middleware) // untrained slots upload their model as-is
+	arrived := 0
 	for j, res := range results {
 		// The upload returns delta-encoded against this round's dispatch
 		// (the one vector both endpoints hold bit-identically), decoded in
@@ -286,7 +287,11 @@ func (f *FedCross) Round(r int, selected []int) error {
 		dec, ok := tr.Up(res.Params, clients[j], res.Params, f.recvView[slots[j]])
 		if ok {
 			uploads[slots[j]] = dec
+			arrived++
 		}
+	}
+	if f.cfg.MinUploads > 0 && arrived < f.cfg.MinUploads {
+		return nil // degraded round: every middleware model stays as it was
 	}
 
 	f.middleware = f.aggregate(r, uploads)

@@ -254,6 +254,31 @@ func (l *Lazy) shrinkLocked(st *lazyStripe) bool {
 	return true
 }
 
+// DropCaches evicts every unleased resident shard and returns how many
+// were dropped. Shards are pure functions of (seed, id), so the cache is
+// always reconstructible; a checkpoint-resume cycle or a memory-pressure
+// signal can call this to shed residency without touching any lease the
+// training loop still holds. Prefetch should be quiesced first — entries
+// landing concurrently survive or die by timing, which is fine for a
+// best-effort shed but noisy for accounting.
+func (l *Lazy) DropCaches() int {
+	dropped := 0
+	set := l.geo.Load()
+	for i := range set.stripes {
+		st := l.lockStripe(i)
+		for id, e := range st.cache {
+			if e.leases > 0 {
+				continue
+			}
+			delete(st.cache, id)
+			l.evictions.Add(1)
+			dropped++
+		}
+		st.mu.Unlock()
+	}
+	return dropped
+}
+
 // Release returns a lease taken by Shard.
 func (l *Lazy) Release(id int) {
 	st := l.lockStripe(id)

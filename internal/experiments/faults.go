@@ -1,0 +1,534 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"fedcross/internal/data"
+	"fedcross/internal/fl"
+)
+
+// FaultGridOptions configures the fault-injection sweep: one algorithm run
+// on identical environments under increasing fault intensity, with upload
+// retries and a quorum floor engaged, so the grid isolates how much
+// accuracy deterministic crash/drop/corruption faults cost and proves the
+// engine completes (no hangs, no lease leaks) under each level.
+type FaultGridOptions struct {
+	Profile Profile
+	// Dataset / Model / Het choose the environment (defaults: vision10,
+	// cnn, Dir(0.5)).
+	Dataset, Model string
+	Het            data.Heterogeneity
+	// Algorithm is the method under fault (default "fedavg").
+	Algorithm string
+	// Levels are the fault intensities swept (default 0, 0.05, 0.1).
+	// Level x sets CrashRate and DropRate and StraggleRate to x and the
+	// truncate/corrupt/duplicate/stall rates to x/2, so the top level
+	// exercises every fault class; level 0 is the bit-identical benign
+	// baseline the retention column divides by.
+	Levels []float64
+	// MinUploads is the per-round quorum (default ClientsPerRound/2).
+	MinUploads int
+	// Retries / RetryBackoffSec configure upload retries (defaults 2,
+	// 0.05).
+	Retries         int
+	RetryBackoffSec float64
+}
+
+// DefaultFaultGridOptions returns the standard sweep.
+func DefaultFaultGridOptions() FaultGridOptions {
+	return FaultGridOptions{
+		Dataset:         "vision10",
+		Model:           "cnn",
+		Het:             data.Heterogeneity{Beta: 0.5},
+		Algorithm:       "fedavg",
+		Levels:          []float64{0, 0.05, 0.1},
+		Retries:         2,
+		RetryBackoffSec: 0.05,
+	}
+}
+
+// faultsAtLevel expands a sweep level into the full fault mix.
+func faultsAtLevel(x float64) fl.FaultOptions {
+	return fl.FaultOptions{
+		CrashRate:     x,
+		DropRate:      x,
+		StraggleRate:  x,
+		TruncateRate:  x / 2,
+		CorruptRate:   x / 2,
+		DuplicateRate: x / 2,
+		StallRate:     x / 2,
+	}
+}
+
+// FaultCell is one fault level's run summary.
+type FaultCell struct {
+	Level             float64
+	FinalAcc, BestAcc float64
+	// Whole-run fault telemetry from the history.
+	Crashes, FaultDrops, Retries, Duplicates, Stalls, Degraded int
+}
+
+// FaultGridResult holds the sweep, one cell per level in order.
+type FaultGridResult struct {
+	Title string
+	Cells []FaultCell
+}
+
+// RunFaultGrid executes the fault-injection sweep. Every cell's fault
+// plan is a pure function of (seed, round, client), so the grid is
+// bit-identical at every Jobs/Parallelism setting; level 0 leaves the
+// history bit-unchanged from a fault-free run. This is the harness behind
+// the CI fault-smoke gate: benign retention at the top level must stay
+// above a pinned floor.
+func RunFaultGrid(opts FaultGridOptions) (*FaultGridResult, error) {
+	def := DefaultFaultGridOptions()
+	if opts.Dataset == "" {
+		opts.Dataset = def.Dataset
+	}
+	if opts.Model == "" {
+		opts.Model = def.Model
+	}
+	if opts.Algorithm == "" {
+		opts.Algorithm = def.Algorithm
+	}
+	if len(opts.Levels) == 0 {
+		opts.Levels = def.Levels
+	}
+	if opts.MinUploads == 0 {
+		opts.MinUploads = maxInt(1, opts.Profile.ClientsPerRound/2)
+	}
+	if opts.Retries == 0 {
+		opts.Retries = def.Retries
+	}
+	if opts.RetryBackoffSec == 0 {
+		opts.RetryBackoffSec = def.RetryBackoffSec
+	}
+	for _, x := range opts.Levels {
+		if err := faultsAtLevel(x).Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: fault level %g: %w", x, err)
+		}
+	}
+	seed := int64(1)
+	if len(opts.Profile.Seeds) > 0 {
+		seed = opts.Profile.Seeds[0]
+	}
+	res := &FaultGridResult{
+		Title: fmt.Sprintf("Fault injection — %s on %s/%s, quorum=%d, retries=%d",
+			opts.Algorithm, opts.Dataset, opts.Model, opts.MinUploads, opts.Retries),
+		Cells: make([]FaultCell, len(opts.Levels)),
+	}
+	s := newScheduler(opts.Profile)
+	err := s.Run(len(res.Cells), func(i int) error {
+		p := opts.Profile
+		p.Faults = faultsAtLevel(opts.Levels[i])
+		p.MinUploads = opts.MinUploads
+		p.Retries = opts.Retries
+		p.RetryBackoffSec = opts.RetryBackoffSec
+		hist, _, _, err := s.runOne(p, opts.Dataset, opts.Model, opts.Het, seed,
+			func() (fl.Algorithm, error) { return NewAlgorithm(opts.Algorithm) })
+		if err != nil {
+			return fmt.Errorf("experiments: faults level=%g: %w", opts.Levels[i], err)
+		}
+		res.Cells[i] = FaultCell{
+			Level:      opts.Levels[i],
+			FinalAcc:   hist.Final().TestAcc,
+			BestAcc:    hist.BestAcc(),
+			Crashes:    hist.Crashes,
+			FaultDrops: hist.FaultDrops,
+			Retries:    hist.Retries,
+			Duplicates: hist.Duplicates,
+			Stalls:     hist.Stalls,
+			Degraded:   hist.Degraded,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Retention returns the final accuracy of the given cell relative to the
+// grid's level-0 cell, or -1 when the grid has no benign level (the
+// quantity the CI fault-smoke gate thresholds).
+func (r *FaultGridResult) Retention(i int) float64 {
+	for _, c := range r.Cells {
+		if c.Level == 0 && c.FinalAcc > 0 {
+			return r.Cells[i].FinalAcc / c.FinalAcc
+		}
+	}
+	return -1
+}
+
+// Render writes the sweep table, one row per fault level.
+func (r *FaultGridResult) Render(w io.Writer) error {
+	t := Table{
+		Title: r.Title,
+		Header: []string{"Level", "Final acc", "Best acc", "Retention",
+			"Crashes", "Drops", "Retries", "Dups", "Stalls", "Degraded"},
+	}
+	for i, c := range r.Cells {
+		ret := "-"
+		if c.Level != 0 {
+			if v := r.Retention(i); v >= 0 {
+				ret = fmt.Sprintf("%.3f", v)
+			}
+		}
+		t.Add(fmt.Sprintf("%.2f", c.Level),
+			fmt.Sprintf("%.4f", c.FinalAcc),
+			fmt.Sprintf("%.4f", c.BestAcc),
+			ret,
+			fmt.Sprintf("%d", c.Crashes),
+			fmt.Sprintf("%d", c.FaultDrops),
+			fmt.Sprintf("%d", c.Retries),
+			fmt.Sprintf("%d", c.Duplicates),
+			fmt.Sprintf("%d", c.Stalls),
+			fmt.Sprintf("%d", c.Degraded))
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// ChurnGridOptions configures the availability-churn sweep: one algorithm
+// run under decreasing mean availability with a diurnal cycle, per-client
+// jitter, and a population ramp, so the grid shows how selection biased to
+// the online fleet degrades (or holds) accuracy. With Profile.NumClients
+// raised to 10⁵ this is the million-scale churn scenario from the
+// roadmap's availability-trace item.
+type ChurnGridOptions struct {
+	Profile Profile
+	// Dataset / Model / Het choose the environment (defaults: vision10,
+	// cnn, Dir(0.5)).
+	Dataset, Model string
+	Het            data.Heterogeneity
+	// Algorithm is the method under churn (default "fedavg").
+	Algorithm string
+	// Availabilities are the mean online fractions swept (default 1,
+	// 0.7, 0.4); 1 is the static benign baseline.
+	Availabilities []float64
+	// Jitter spreads per-client availability (default 0.3).
+	Jitter float64
+	// StartFrac / EndFrac ramp the live population across the run
+	// (defaults 1 → 0.6, a shrinking fleet). Applied only to cells with
+	// availability < 1 so the baseline stays static.
+	StartFrac, EndFrac float64
+}
+
+// DefaultChurnGridOptions returns the standard sweep.
+func DefaultChurnGridOptions() ChurnGridOptions {
+	return ChurnGridOptions{
+		Dataset:        "vision10",
+		Model:          "cnn",
+		Het:            data.Heterogeneity{Beta: 0.5},
+		Algorithm:      "fedavg",
+		Availabilities: []float64{1, 0.7, 0.4},
+		Jitter:         0.3,
+		StartFrac:      1,
+		EndFrac:        0.6,
+	}
+}
+
+// ChurnCell is one availability level's run summary.
+type ChurnCell struct {
+	Availability      float64
+	FinalAcc, BestAcc float64
+	// Unavailable is the whole-run count of selection slots lost to
+	// offline or departed clients.
+	Unavailable int
+}
+
+// ChurnGridResult holds the sweep, one cell per availability in order.
+type ChurnGridResult struct {
+	Title string
+	Cells []ChurnCell
+}
+
+// RunChurnGrid executes the churn sweep. Availability is a pure function
+// of (seed, client, round), so the grid is bit-identical at every
+// Jobs/Parallelism setting and availability 1 leaves the history
+// bit-unchanged from a churn-free run.
+func RunChurnGrid(opts ChurnGridOptions) (*ChurnGridResult, error) {
+	def := DefaultChurnGridOptions()
+	if opts.Dataset == "" {
+		opts.Dataset = def.Dataset
+	}
+	if opts.Model == "" {
+		opts.Model = def.Model
+	}
+	if opts.Algorithm == "" {
+		opts.Algorithm = def.Algorithm
+	}
+	if len(opts.Availabilities) == 0 {
+		opts.Availabilities = def.Availabilities
+	}
+	if opts.Jitter == 0 {
+		opts.Jitter = def.Jitter
+	}
+	if opts.StartFrac == 0 {
+		opts.StartFrac = def.StartFrac
+	}
+	if opts.EndFrac == 0 {
+		opts.EndFrac = def.EndFrac
+	}
+	for _, a := range opts.Availabilities {
+		churn := fl.ChurnOptions{Availability: a, Jitter: opts.Jitter,
+			StartFrac: opts.StartFrac, EndFrac: opts.EndFrac}
+		if err := churn.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: churn availability %g: %w", a, err)
+		}
+	}
+	seed := int64(1)
+	if len(opts.Profile.Seeds) > 0 {
+		seed = opts.Profile.Seeds[0]
+	}
+	res := &ChurnGridResult{
+		Title: fmt.Sprintf("Availability churn — %s on %s/%s, N=%d",
+			opts.Algorithm, opts.Dataset, opts.Model, opts.Profile.NumClients),
+		Cells: make([]ChurnCell, len(opts.Availabilities)),
+	}
+	s := newScheduler(opts.Profile)
+	err := s.Run(len(res.Cells), func(i int) error {
+		p := opts.Profile
+		if a := opts.Availabilities[i]; a < 1 {
+			p.Churn = fl.ChurnOptions{Availability: a, Jitter: opts.Jitter,
+				StartFrac: opts.StartFrac, EndFrac: opts.EndFrac}
+		}
+		hist, _, _, err := s.runOne(p, opts.Dataset, opts.Model, opts.Het, seed,
+			func() (fl.Algorithm, error) { return NewAlgorithm(opts.Algorithm) })
+		if err != nil {
+			return fmt.Errorf("experiments: churn availability=%g: %w",
+				opts.Availabilities[i], err)
+		}
+		res.Cells[i] = ChurnCell{
+			Availability: opts.Availabilities[i],
+			FinalAcc:     hist.Final().TestAcc,
+			BestAcc:      hist.BestAcc(),
+			Unavailable:  hist.Unavailable,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render writes the sweep table, one row per availability level, with
+// retention relative to the availability-1 cell when present.
+func (r *ChurnGridResult) Render(w io.Writer) error {
+	base := -1.0
+	for _, c := range r.Cells {
+		if c.Availability == 1 && c.FinalAcc > 0 {
+			base = c.FinalAcc
+			break
+		}
+	}
+	t := Table{
+		Title:  r.Title,
+		Header: []string{"Availability", "Final acc", "Best acc", "Retention", "Unavailable"},
+	}
+	for _, c := range r.Cells {
+		ret := "-"
+		if c.Availability != 1 && base > 0 {
+			ret = fmt.Sprintf("%.3f", c.FinalAcc/base)
+		}
+		t.Add(fmt.Sprintf("%.2f", c.Availability),
+			fmt.Sprintf("%.4f", c.FinalAcc),
+			fmt.Sprintf("%.4f", c.BestAcc),
+			ret,
+			fmt.Sprintf("%d", c.Unavailable))
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// ResumeCheckOptions configures the crash/resume equality check: every
+// algorithm is run to completion once, then killed at each stop round
+// (checkpoint written, fl.ErrStopped returned) and resumed from the
+// snapshot — the resumed history must equal the uninterrupted one
+// byte-for-byte.
+type ResumeCheckOptions struct {
+	Profile Profile
+	// Dataset / Model / Het choose the environment (defaults: vision10,
+	// cnn, Dir(0.5)).
+	Dataset, Model string
+	Het            data.Heterogeneity
+	// Algorithms are the methods checked (default: all six).
+	Algorithms []string
+	// StopRounds are the kill points (default 1, Rounds/2, Rounds-1,
+	// clipped and deduplicated).
+	StopRounds []int
+	// Benign disables the default fault mix; by default the check runs
+	// under 10% crash + 10% drop with a quorum floor, so it proves the
+	// snapshot also captures the fault and retry telemetry mid-stream.
+	Benign bool
+}
+
+// DefaultResumeCheckOptions returns the standard check.
+func DefaultResumeCheckOptions() ResumeCheckOptions {
+	return ResumeCheckOptions{
+		Dataset:    "vision10",
+		Model:      "cnn",
+		Het:        data.Heterogeneity{Beta: 0.5},
+		Algorithms: AlgorithmNames(),
+	}
+}
+
+// ResumeCell is one (algorithm, stop round) verdict.
+type ResumeCell struct {
+	Algorithm string
+	StopRound int
+	Match     bool
+}
+
+// ResumeCheckResult holds the verdict grid, rows ordered by (algorithm,
+// stop round).
+type ResumeCheckResult struct {
+	Title string
+	Cells []ResumeCell
+}
+
+// resumeStops returns the default kill points for a run length.
+func resumeStops(rounds int) []int {
+	raw := []int{1, rounds / 2, rounds - 1}
+	seen := map[int]bool{}
+	stops := make([]int, 0, len(raw))
+	for _, s := range raw {
+		if s < 1 || s >= rounds || seen[s] {
+			continue
+		}
+		seen[s] = true
+		stops = append(stops, s)
+	}
+	if len(stops) == 0 {
+		stops = []int{1}
+	}
+	return stops
+}
+
+// RunResumeCheck executes the crash/resume equality check. Each cell
+// writes its snapshot to a private file under a temporary directory that
+// is removed before returning. The returned result always covers every
+// cell that ran; the error is non-nil if any resumed history diverged
+// from its uninterrupted twin.
+func RunResumeCheck(opts ResumeCheckOptions) (*ResumeCheckResult, error) {
+	def := DefaultResumeCheckOptions()
+	if opts.Dataset == "" {
+		opts.Dataset = def.Dataset
+	}
+	if opts.Model == "" {
+		opts.Model = def.Model
+	}
+	if len(opts.Algorithms) == 0 {
+		opts.Algorithms = def.Algorithms
+	}
+	if len(opts.StopRounds) == 0 {
+		opts.StopRounds = resumeStops(opts.Profile.Rounds)
+	}
+	for _, stop := range opts.StopRounds {
+		if stop < 1 || stop >= opts.Profile.Rounds {
+			return nil, fmt.Errorf("experiments: resume stop round %d outside [1, %d)",
+				stop, opts.Profile.Rounds)
+		}
+	}
+	p := opts.Profile
+	// The check owns its checkpoint files; a caller-level -checkpoint
+	// setting must not leak into the baseline or resumed runs.
+	p.Checkpoint = fl.CheckpointOptions{}
+	if !opts.Benign {
+		p.Faults = fl.FaultOptions{CrashRate: 0.1, DropRate: 0.1}
+		p.MinUploads = maxInt(1, p.ClientsPerRound/2)
+		p.Retries = 2
+	}
+	dir, err := os.MkdirTemp("", "fedsim-resume-")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: resume workspace: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	seed := int64(1)
+	if len(p.Seeds) > 0 {
+		seed = p.Seeds[0]
+	}
+	res := &ResumeCheckResult{
+		Title: fmt.Sprintf("Resume equality — %s/%s, stops %v, faults=%v",
+			opts.Dataset, opts.Model, opts.StopRounds, !opts.Benign),
+		Cells: make([]ResumeCell, len(opts.Algorithms)*len(opts.StopRounds)),
+	}
+	s := newScheduler(p)
+	// One scheduler cell per algorithm: the baseline run is shared by that
+	// algorithm's stop rounds, so it is trained exactly once.
+	err = s.Run(len(opts.Algorithms), func(ai int) error {
+		name := opts.Algorithms[ai]
+		env, err := s.Env(p, opts.Dataset, opts.Model, opts.Het, seed)
+		if err != nil {
+			return err
+		}
+		run := func(prof Profile) (*fl.History, error) {
+			algo, err := NewAlgorithm(name)
+			if err != nil {
+				return nil, err
+			}
+			return fl.Run(algo, env, s.Config(prof, seed))
+		}
+		full, err := run(p)
+		if err != nil {
+			return fmt.Errorf("experiments: resume baseline %s: %w", name, err)
+		}
+		for si, stop := range opts.StopRounds {
+			path := filepath.Join(dir, fmt.Sprintf("%s-%d.ckpt", name, stop))
+			killed := p
+			killed.Checkpoint = fl.CheckpointOptions{Path: path, StopAfterRound: stop}
+			if _, err := run(killed); !errors.Is(err, fl.ErrStopped) {
+				return fmt.Errorf("experiments: resume kill %s@%d: want ErrStopped, got %v",
+					name, stop, err)
+			}
+			resumed := p
+			resumed.Checkpoint = fl.CheckpointOptions{Path: path, Resume: true}
+			hist, err := run(resumed)
+			if err != nil {
+				return fmt.Errorf("experiments: resume continue %s@%d: %w", name, stop, err)
+			}
+			res.Cells[ai*len(opts.StopRounds)+si] = ResumeCell{
+				Algorithm: name,
+				StopRound: stop,
+				Match:     reflect.DeepEqual(full, hist),
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var bad []string
+	for _, c := range res.Cells {
+		if !c.Match {
+			bad = append(bad, fmt.Sprintf("%s@%d", c.Algorithm, c.StopRound))
+		}
+	}
+	if len(bad) > 0 {
+		return res, fmt.Errorf("experiments: resumed history diverged for %v", bad)
+	}
+	return res, nil
+}
+
+// Render writes the verdict table, one row per (algorithm, stop round).
+func (r *ResumeCheckResult) Render(w io.Writer) error {
+	t := Table{
+		Title:  r.Title,
+		Header: []string{"Algorithm", "Stop round", "Resumed history"},
+	}
+	for _, c := range r.Cells {
+		verdict := "identical"
+		if !c.Match {
+			verdict = "DIVERGED"
+		}
+		t.Add(c.Algorithm, fmt.Sprintf("%d", c.StopRound), verdict)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestFaultGridRetentionAndDeterminism: the fault sweep runs end to end
+// on the micro profile, its level-0 cell anchors the retention column,
+// faulted cells actually fire faults, and the grid render is
+// bit-identical at Jobs=1 and Jobs=4.
+func TestFaultGridRetentionAndDeterminism(t *testing.T) {
+	run := func(p Profile) (renderable, error) {
+		o := DefaultFaultGridOptions()
+		o.Profile = p
+		o.Model = "mlp"
+		o.Levels = []float64{0, 0.2}
+		return RunFaultGrid(o)
+	}
+	serial := renderAtJobs(t, 1, run)
+	wide := renderAtJobs(t, 4, run)
+	if !bytes.Equal(serial, wide) {
+		t.Fatalf("fault grid: Jobs=1 vs Jobs=4 renders differ:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s", serial, wide)
+	}
+
+	o := DefaultFaultGridOptions()
+	o.Profile = microProfile()
+	o.Model = "mlp"
+	o.Levels = []float64{0, 0.2}
+	res, err := RunFaultGrid(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("want 2 cells, got %d", len(res.Cells))
+	}
+	benign, faulted := res.Cells[0], res.Cells[1]
+	if benign.Crashes+benign.FaultDrops+benign.Retries+benign.Stalls != 0 {
+		t.Fatalf("level 0 must stay fault-free: %+v", benign)
+	}
+	if faulted.Crashes == 0 && faulted.FaultDrops == 0 && faulted.Stalls == 0 {
+		t.Fatalf("level 0.2 fired no faults: %+v", faulted)
+	}
+	if ret := res.Retention(1); ret <= 0 {
+		t.Fatalf("retention at level 0.2 must be positive, got %v", ret)
+	}
+	if res.Retention(0) != 1 {
+		t.Fatalf("retention at level 0 must be exactly 1, got %v", res.Retention(0))
+	}
+}
+
+// TestChurnGridBaselineAndTelemetry: availability 1 is the benign anchor
+// (no churn telemetry), lower availabilities lose selection slots, and
+// the sweep is deterministic across cell parallelism.
+func TestChurnGridBaselineAndTelemetry(t *testing.T) {
+	run := func(p Profile) (renderable, error) {
+		o := DefaultChurnGridOptions()
+		o.Profile = p
+		o.Model = "mlp"
+		o.Availabilities = []float64{1, 0.3}
+		return RunChurnGrid(o)
+	}
+	serial := renderAtJobs(t, 1, run)
+	wide := renderAtJobs(t, 4, run)
+	if !bytes.Equal(serial, wide) {
+		t.Fatalf("churn grid: Jobs=1 vs Jobs=4 renders differ:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s", serial, wide)
+	}
+
+	o := DefaultChurnGridOptions()
+	o.Profile = microProfile()
+	o.Model = "mlp"
+	o.Availabilities = []float64{1, 0.3}
+	res, err := RunChurnGrid(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("want 2 cells, got %d", len(res.Cells))
+	}
+	if res.Cells[0].Unavailable != 0 {
+		t.Fatalf("availability 1 must lose no slots: %+v", res.Cells[0])
+	}
+	if res.Cells[1].Unavailable == 0 {
+		t.Fatalf("availability 0.3 must lose slots: %+v", res.Cells[1])
+	}
+}
+
+// TestResumeCheckAllMatch: the crash/resume harness reports byte-identity
+// for a representative algorithm pair under the default fault mix.
+func TestResumeCheckAllMatch(t *testing.T) {
+	o := DefaultResumeCheckOptions()
+	o.Profile = microProfile()
+	o.Model = "mlp"
+	o.Algorithms = []string{"fedavg", "fedcross"}
+	o.StopRounds = []int{2}
+	res, err := RunResumeCheck(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("want 2 cells, got %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if !c.Match {
+			t.Fatalf("%s stop %d diverged", c.Algorithm, c.StopRound)
+		}
+	}
+}
+
+// TestResumeStops pins the default kill-point policy.
+func TestResumeStops(t *testing.T) {
+	for _, tc := range []struct {
+		rounds int
+		want   []int
+	}{
+		{8, []int{1, 4, 7}},
+		{3, []int{1, 2}},
+		{2, []int{1}},
+		{1, []int{1}},
+	} {
+		if got := resumeStops(tc.rounds); !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("resumeStops(%d) = %v, want %v", tc.rounds, got, tc.want)
+		}
+	}
+}

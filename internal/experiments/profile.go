@@ -76,6 +76,22 @@ type Profile struct {
 	// injection (fl.AdversaryOptions); zero values run benign.
 	Attack                  string
 	AttackFrac, AttackScale float64
+	// Faults configures deterministic fault injection (fl.Config.Faults);
+	// the zero value runs fault-free and bit-identical to earlier engines.
+	Faults fl.FaultOptions
+	// MinUploads is the per-round upload-acceptance quorum
+	// (fl.Config.MinUploads); 0 disables quorum degradation.
+	MinUploads int
+	// Retries and RetryBackoffSec configure deadline-aware upload retries
+	// on the simulated wire (fl.TransportOptions).
+	Retries         int
+	RetryBackoffSec float64
+	// Churn configures availability traces and population drift
+	// (fl.Config.Churn); the zero value keeps the fleet static.
+	Churn fl.ChurnOptions
+	// Checkpoint configures round-granular snapshots and resume
+	// (fl.Config.Checkpoint); the zero value never touches disk.
+	Checkpoint fl.CheckpointOptions
 }
 
 // TinyProfile sizes experiments for unit tests and testing.B benches:
@@ -146,15 +162,21 @@ func (p Profile) Config(seed int64) fl.Config {
 		PrefetchRounds:  p.PrefetchRounds,
 		CacheStripes:    p.CacheStripes,
 		Transport: fl.TransportOptions{
-			Codec:       p.Codec,
-			Network:     p.Network,
-			DeadlineSec: p.DeadlineSec,
+			Codec:           p.Codec,
+			Network:         p.Network,
+			DeadlineSec:     p.DeadlineSec,
+			Retries:         p.Retries,
+			RetryBackoffSec: p.RetryBackoffSec,
 		},
 		Adversary: fl.AdversaryOptions{
 			Attack: p.Attack,
 			Frac:   p.AttackFrac,
 			Scale:  p.AttackScale,
 		},
+		Faults:     p.Faults,
+		MinUploads: p.MinUploads,
+		Churn:      p.Churn,
+		Checkpoint: p.Checkpoint,
 	}
 	if p.Reducer != "" {
 		r, err := core.ReducerByName(p.Reducer)

@@ -148,6 +148,16 @@ func RunAsync(env *Env, cfg Config, opts AsyncOptions) (*History, error) {
 	timeRNG := rng.Split()
 	jobRNG := rng.Split()
 	advRNG := rng.Split()
+	// The fault stream is appended after every pre-existing split (the
+	// advRNG pattern): a zero-rate plan leaves benign histories
+	// bit-unchanged. Fault decisions key on (dispatch seq, client), so
+	// they are identical at every worker count and free to recompute on
+	// resume. Client churn is a round-calendar concept and applies to the
+	// synchronous engine only; its stream is still reserved here so the
+	// two engines' split orders stay parallel.
+	faultRNG := rng.Split()
+	_ = rng.Split() // churn stream, reserved
+	faults := NewFaultPlan(cfg.Faults, faultRNG.Int63())
 
 	adv := NewAdversary(cfg.Adversary, n, advRNG)
 	adv.BeginRound()
@@ -210,7 +220,15 @@ func RunAsync(env *Env, cfg Config, opts AsyncOptions) (*History, error) {
 		version    int
 		arrivals   int
 		dispatches int
+
+		// folded counts the current window's accepted uploads — the
+		// quorum the commit is judged against.
+		folded                                      int
+		crashes, faultDrops, duplicates, stallCount int
+		degraded                                    int
+		commits                                     int
 	)
+	ck := cfg.Checkpoint
 
 	var prefetchBuf [1]int
 	dispatch := func() {
@@ -240,19 +258,68 @@ func RunAsync(env *Env, cfg Config, opts AsyncOptions) (*History, error) {
 		if up > 0 {
 			elapsed += float64(wireBytes) / up
 		}
+		if faults.Straggles(seq, client) {
+			// A straggler spike stretches the whole activation — slow
+			// links, slow compute — so the arrival lands later, earning
+			// real staleness (the async analogue of the sync transport's
+			// rate/latency inflation).
+			elapsed *= faults.StraggleFactor()
+		}
 		fetch := lease()
 		copy(fetch, global)
-		inflight = append(inflight, &asyncJob{
+		job := &asyncJob{
 			seq: seq, client: client, version: version,
 			arrival: now + elapsed, fetch: fetch, rng: jobRNG.Split(),
-		})
+		}
+		if faults.Crashes(seq, client) {
+			// The client dies mid-round: it fetched (bytes down are
+			// already spent) but will never train or upload. done with a
+			// nil trained vector is the crash marker the fold recognises.
+			job.done = true
+		}
+		inflight = append(inflight, job)
 		seq++
 		dispatches++
 		hist.BytesDown += wireBytes
 	}
 
-	for i := 0; i < opts.InFlight; i++ {
-		dispatch()
+	startFresh := true
+	if ck.Active() && ck.Resume {
+		snap, err := loadAsyncCheckpoint(ck.Path, cfg, opts, n, dim)
+		if err != nil {
+			return nil, fmt.Errorf("fl: RunAsync: %w", err)
+		}
+		now, seq, version = snap.now, snap.seq, snap.version
+		arrivals, dispatches = snap.arrivals, snap.dispatches
+		crashes, faultDrops, duplicates = snap.crashes, snap.faultDrops, snap.dups
+		stallCount, degraded = snap.stalls, snap.degraded
+		hist.BytesDown, hist.BytesUp = snap.bytesDown, snap.bytesUp
+		hist.Metrics = snap.metrics
+		selRNG = tensor.RestoreRNG(snap.selState)
+		timeRNG = tensor.RestoreRNG(snap.timeState)
+		jobRNG = tensor.RestoreRNG(snap.jobState)
+		available = snap.available
+		copy(global, snap.global)
+		inflight = make([]*asyncJob, len(snap.jobs))
+		for i, js := range snap.jobs {
+			inflight[i] = &asyncJob{
+				seq: js.seq, client: js.client, version: js.version,
+				arrival: js.arrival, fetch: js.fetch, trained: js.trained,
+				done: js.done, rng: tensor.RestoreRNG(js.rng),
+			}
+		}
+		commits = snap.nextCommit
+		startFresh = false
+		// The snapshot was taken inside the commit block, before the
+		// dispatch that closes a loop iteration — run that dispatch now.
+		if commits < opts.Commits {
+			dispatch()
+		}
+	}
+	if startFresh {
+		for i := 0; i < opts.InFlight; i++ {
+			dispatch()
+		}
 	}
 
 	evalNow := func(commit int) error {
@@ -267,11 +334,25 @@ func RunAsync(env *Env, cfg Config, opts AsyncOptions) (*History, error) {
 			CumModelEquivalents: float64(dispatches + arrivals),
 			CumBytesDown:        hist.BytesDown,
 			CumBytesUp:          hist.BytesUp,
+			CumFaultDrops:       faultDrops,
+			CumDuplicates:       duplicates,
+			CumStalls:           stallCount,
+			CumCrashes:          crashes,
+			CumDegraded:         degraded,
 		})
 		return nil
 	}
 
-	for commits := 0; commits < opts.Commits; {
+	finish := func() {
+		hist.Comm = CommProfile{ModelsDown: dispatches, ModelsUp: arrivals}
+		hist.Crashes = crashes
+		hist.FaultDrops = faultDrops
+		hist.Duplicates = duplicates
+		hist.Stalls = stallCount
+		hist.Degraded = degraded
+	}
+
+	for commits < opts.Commits {
 		// Pop the earliest arrival (ties broken by dispatch order). The
 		// in-flight set is small (M), so a linear scan is the queue.
 		best := 0
@@ -294,31 +375,73 @@ func RunAsync(env *Env, cfg Config, opts AsyncOptions) (*History, error) {
 		}
 		inflight = append(inflight[:best], inflight[best+1:]...)
 		now = job.arrival
-		hist.BytesUp += wireBytes
 
-		upload := adv.CorruptUpload(job.client, job.trained)
-		if finiteVector(upload) {
-			// Fold: staleness-weighted model delta against the fetched
-			// snapshot. Non-finite uploads are dropped at the server door,
-			// the same screen ReduceUploads applies in the sync engine.
-			staleness := float64(version - job.version)
-			weight := 1 / math.Pow(1+staleness, opts.StalenessExp)
-			for i := range acc {
-				acc[i] += weight * (upload[i] - job.fetch[i])
+		if job.trained == nil {
+			// Fault-injected crash: the slot completes (the server times
+			// the client out and moves on) but nothing crossed the uplink.
+			crashes++
+			release(job.fetch)
+		} else {
+			hist.BytesUp += wireBytes
+			switch {
+			case faults.Drops(job.seq, job.client, 0),
+				faults.Truncates(job.seq, job.client, 0),
+				faults.Corrupts(job.seq, job.client, 0):
+				// The async wire carries values losslessly, so a
+				// truncated or corrupted payload is rejected whole at the
+				// server door — observably a drop, and counted as one.
+				faultDrops++
+			default:
+				upload := adv.CorruptUpload(job.client, job.trained)
+				if finiteVector(upload) {
+					// Fold: staleness-weighted model delta against the fetched
+					// snapshot. Non-finite uploads are dropped at the server door,
+					// the same screen ReduceUploads applies in the sync engine.
+					staleness := float64(version - job.version)
+					weight := 1 / math.Pow(1+staleness, opts.StalenessExp)
+					for i := range acc {
+						acc[i] += weight * (upload[i] - job.fetch[i])
+					}
+					folded++
+				}
+				if faults.Duplicates(job.seq, job.client) {
+					// The retransmit arrives twice; the server dedupes but
+					// the duplicate bytes were spent.
+					hist.BytesUp += wireBytes
+					duplicates++
+				}
 			}
+			release(job.fetch, job.trained)
 		}
 		arrivals++
-		release(job.fetch, job.trained)
 		insertSorted(&available, job.client)
 
 		if arrivals%opts.Buffer == 0 {
-			scale := opts.ServerLR / float64(opts.Buffer)
-			for i := range global {
-				global[i] += scale * acc[i]
-				acc[i] = 0
+			if cfg.MinUploads > 0 && folded < cfg.MinUploads {
+				// Degraded commit: the window's accepted uploads missed the
+				// quorum, so the thin accumulator is discarded and the model
+				// survives unchanged. The version still bumps — staleness is
+				// wall-clock truth, not a function of acceptance.
+				for i := range acc {
+					acc[i] = 0
+				}
+				degraded++
+			} else {
+				scale := opts.ServerLR / float64(opts.Buffer)
+				for i := range global {
+					global[i] += scale * acc[i]
+					acc[i] = 0
+				}
 			}
+			folded = 0
 			version++
 			commits++
+			if faults.Stalls(commits - 1) {
+				// Server stall: the commit pauses before the next dispatch
+				// goes out, shifting only work scheduled after it.
+				now += faults.StallSec()
+				stallCount++
+			}
 			adv.BeginRound()
 			last := commits == opts.Commits
 			if last || (cfg.EvalEvery > 0 && commits%cfg.EvalEvery == 0) {
@@ -327,13 +450,44 @@ func RunAsync(env *Env, cfg Config, opts AsyncOptions) (*History, error) {
 					return nil, err
 				}
 			}
+			if ck.Active() {
+				stopHere := ck.StopAfterRound > 0 && commits == ck.StopAfterRound
+				if stopHere || (ck.Every > 0 && commits%ck.Every == 0) {
+					snap := &asyncSnapshot{
+						nextCommit: commits, now: now, seq: seq, version: version,
+						arrivals: arrivals, dispatches: dispatches,
+						crashes: crashes, faultDrops: faultDrops, dups: duplicates,
+						stalls: stallCount, degraded: degraded,
+						bytesDown: hist.BytesDown, bytesUp: hist.BytesUp,
+						selState:  selRNG.State(), timeState: timeRNG.State(), jobState: jobRNG.State(),
+						available: available, global: global, metrics: hist.Metrics,
+					}
+					snap.jobs = make([]asyncJobSnap, len(inflight))
+					for i, j := range inflight {
+						snap.jobs[i] = asyncJobSnap{
+							seq: j.seq, client: j.client, version: j.version,
+							arrival: j.arrival, done: j.done,
+							fetch: j.fetch, trained: j.trained, rng: j.rng.State(),
+						}
+					}
+					if err := saveAsyncCheckpoint(ck.Path, cfg, opts, n, dim, snap); err != nil {
+						releaseAll(inflight, release)
+						return nil, fmt.Errorf("fl: RunAsync: checkpoint commit %d: %w", commits, err)
+					}
+				}
+				if stopHere {
+					releaseAll(inflight, release)
+					finish()
+					return hist, ErrStopped
+				}
+			}
 			if last {
 				break
 			}
 		}
 		dispatch()
 	}
-	hist.Comm = CommProfile{ModelsDown: dispatches, ModelsUp: arrivals}
+	finish()
 	return hist, nil
 }
 

@@ -60,6 +60,23 @@ type Config struct {
 	// Adversary injects Byzantine clients (see AdversaryOptions). The
 	// zero value runs the benign setting with histories untouched.
 	Adversary AdversaryOptions
+	// Faults injects deterministic failures — client crashes, payload
+	// drop/truncation/corruption/duplication, straggle and stall faults
+	// (see FaultOptions). The zero value injects nothing and leaves
+	// histories bit-unchanged.
+	Faults FaultOptions
+	// MinUploads is the aggregation quorum: a round whose accepted
+	// uploads fall below it degrades (the server keeps its current
+	// model) instead of folding a thin cohort. 0 disables the quorum —
+	// any non-empty fold proceeds, the pre-quorum behaviour.
+	MinUploads int
+	// Churn models client availability and population drift (see
+	// ChurnOptions). The zero value runs the static, always-on fleet
+	// with histories untouched.
+	Churn ChurnOptions
+	// Checkpoint configures round-granular write-ahead snapshots and
+	// resume (see CheckpointOptions). The zero value never touches disk.
+	Checkpoint CheckpointOptions
 	// BatchFanout caps how many queued client jobs may be fused into one
 	// batched training pass (see TrainAllFanout). 0 or 1 (the default)
 	// trains every client solo — the reference path. Any setting is
@@ -131,8 +148,19 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fl: PrefetchRounds = %d, must be non-negative", c.PrefetchRounds)
 	case c.CacheStripes < 0:
 		return fmt.Errorf("fl: CacheStripes = %d, must be non-negative", c.CacheStripes)
+	case c.MinUploads < 0:
+		return fmt.Errorf("fl: MinUploads = %d, must be non-negative", c.MinUploads)
 	}
 	if err := c.Adversary.Validate(); err != nil {
+		return err
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := c.Churn.Validate(); err != nil {
+		return err
+	}
+	if err := c.Checkpoint.Validate(); err != nil {
 		return err
 	}
 	return c.Transport.Validate()

@@ -15,7 +15,9 @@ import (
 // exactly as in Run. Selector algorithms (clustered sampling) choose
 // clients from round-local state, so their cohorts exist only inside the
 // run; the engine's planner handles them by drawing at round boundaries
-// and disabling lookahead.
+// and disabling lookahead. CohortPlan replays the static, always-on
+// fleet: under an active ChurnPlan the engine filters the same Perm to
+// available ids, so the replay remains a superset of the cohort.
 func CohortPlan(r int, seed int64, n, k int) []int {
 	if r < 0 || n <= 0 || k <= 0 {
 		return nil
@@ -41,23 +43,26 @@ func CohortPlan(r int, seed int64, n, k int) []int {
 // drawn eagerly (lookahead) or at its round top, the stream — and every
 // history bit — is identical to the inline selection it replaced.
 type cohortPlanner struct {
-	algo Algorithm
-	rng  *tensor.RNG
-	n, k int
+	algo  Algorithm
+	rng   *tensor.RNG
+	n, k  int
+	churn *ChurnPlan // nil for the static, always-on fleet
 
 	next  int           // first round whose cohort has not been drawn
 	drawn map[int][]int // planned cohorts not yet handed to the loop
 }
 
-func newCohortPlanner(algo Algorithm, rng *tensor.RNG, n, k int) *cohortPlanner {
-	return &cohortPlanner{algo: algo, rng: rng, n: n, k: k, drawn: map[int][]int{}}
+func newCohortPlanner(algo Algorithm, rng *tensor.RNG, n, k int, churn *ChurnPlan) *cohortPlanner {
+	return &cohortPlanner{algo: algo, rng: rng, n: n, k: k, churn: churn, drawn: map[int][]int{}}
 }
 
 // draw advances the selection stream through round r, caching cohorts
-// drawn ahead of their round.
+// drawn ahead of their round. Availability is a pure function of
+// (seed, id, round), so churn-biased cohorts are as plannable ahead as
+// uniform ones.
 func (p *cohortPlanner) draw(r int) []int {
 	for p.next <= r {
-		p.drawn[p.next] = selectClients(p.algo, p.next, p.rng, p.n, p.k)
+		p.drawn[p.next] = selectClients(p.algo, p.next, p.rng, p.n, p.k, p.churn)
 		p.next++
 	}
 	return p.drawn[r]

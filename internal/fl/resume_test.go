@@ -1,0 +1,332 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fedcross/internal/data"
+	"fedcross/internal/models"
+	"fedcross/internal/nn"
+)
+
+// ckptWireAlgo is wireAlgo plus RoundCheckpointer: the smallest
+// in-package algorithm that can ride the engine's kill/resume cycle.
+type ckptWireAlgo struct{ wireAlgo }
+
+func (s *ckptWireAlgo) SaveState(w io.Writer) error {
+	if err := nn.WriteVector(w, s.global); err != nil {
+		return err
+	}
+	return nn.WriteRNG(w, s.rng)
+}
+
+func (s *ckptWireAlgo) LoadState(r io.Reader) error {
+	global, err := nn.ReadVector(r)
+	if err != nil {
+		return err
+	}
+	rng, err := nn.ReadRNG(r)
+	if err != nil {
+		return err
+	}
+	s.global, s.rng = global, rng
+	return nil
+}
+
+func TestCheckpointOptionsValidate(t *testing.T) {
+	for _, bad := range []CheckpointOptions{
+		{Path: "x", Every: -1},
+		{Path: "x", StopAfterRound: -1},
+		{Every: 2},
+		{Resume: true},
+		{StopAfterRound: 3},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%+v should not validate", bad)
+		}
+	}
+	if err := (CheckpointOptions{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (CheckpointOptions{}).Active() {
+		t.Fatal("zero options must be inactive")
+	}
+}
+
+// resumeCfg is a deliberately hostile setting for the snapshot: faults,
+// retries, a quorum, an adversary and a lossy wire all carry live state
+// across the kill boundary.
+func resumeCfg(par int) Config {
+	return Config{Rounds: 6, ClientsPerRound: 4, LocalEpochs: 1, BatchSize: 16,
+		LR: 0.05, Momentum: 0.5, EvalEvery: 1, Seed: 11, Parallelism: par,
+		Faults:     FaultOptions{CrashRate: 0.2, DropRate: 0.2, DuplicateRate: 0.2, StallRate: 0.2},
+		MinUploads: 2,
+		Transport:  TransportOptions{Codec: "fp16", Network: "wifi", Retries: 1, RetryBackoffSec: 0.1},
+		Adversary:  AdversaryOptions{Attack: AttackSignFlip, Frac: 0.25},
+	}
+}
+
+// TestRunKillResumeBitIdentity: a run killed at any round boundary and
+// resumed from its snapshot finishes with a final history byte-identical
+// to the uninterrupted run — at serial and fanned-out parallelism, under
+// faults and attack.
+func TestRunKillResumeBitIdentity(t *testing.T) {
+	dir := t.TempDir()
+	for _, par := range []int{1, 8} {
+		full, err := Run(&ckptWireAlgo{}, testEnv(61, 8), resumeCfg(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, stop := range []int{1, 3, 5} {
+			t.Run(fmt.Sprintf("par%d/stop%d", par, stop), func(t *testing.T) {
+				path := filepath.Join(dir, fmt.Sprintf("p%d-s%d.ckpt", par, stop))
+				killed := resumeCfg(par)
+				killed.Checkpoint = CheckpointOptions{Path: path, StopAfterRound: stop}
+				partial, err := Run(&ckptWireAlgo{}, testEnv(61, 8), killed)
+				if !errors.Is(err, ErrStopped) {
+					t.Fatalf("want ErrStopped, got %v", err)
+				}
+				if got := partial.Final().Round; got > stop {
+					t.Fatalf("partial history ran past the kill: round %d > %d", got, stop)
+				}
+				resumed := resumeCfg(par)
+				resumed.Checkpoint = CheckpointOptions{Path: path, Resume: true}
+				h, err := Run(&ckptWireAlgo{}, testEnv(61, 8), resumed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(full, h) {
+					t.Fatalf("resumed history diverged:\nfull    %+v\nresumed %+v", full, h)
+				}
+			})
+		}
+	}
+}
+
+// TestRunCheckpointEveryResume: periodic snapshots (no explicit kill) are
+// also valid resume points — resuming from whatever Every left on disk
+// reproduces the uninterrupted tail.
+func TestRunCheckpointEveryResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cfg := resumeCfg(0)
+	cfg.Rounds = 5
+	full, err := Run(&ckptWireAlgo{}, testEnv(62, 8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	every := cfg
+	every.Checkpoint = CheckpointOptions{Path: path, Every: 2}
+	if _, err := Run(&ckptWireAlgo{}, testEnv(62, 8), every); err != nil {
+		t.Fatal(err)
+	}
+	resumed := cfg
+	resumed.Checkpoint = CheckpointOptions{Path: path, Resume: true}
+	h, err := Run(&ckptWireAlgo{}, testEnv(62, 8), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, h) {
+		t.Fatal("resume from the periodic snapshot diverged from the uninterrupted run")
+	}
+}
+
+// TestRunResumeRejectsHostileInput: missing files, truncated snapshots,
+// garbage bytes and mismatched run parameters all fail with a clear
+// error — never a panic, never a silent wrong resume. An algorithm
+// without checkpoint support is rejected up front.
+func TestRunResumeRejectsHostileInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	cfg := resumeCfg(0)
+	cfg.Checkpoint = CheckpointOptions{Path: path, StopAfterRound: 2}
+	if _, err := Run(&ckptWireAlgo{}, testEnv(63, 8), cfg); !errors.Is(err, ErrStopped) {
+		t.Fatalf("want ErrStopped, got %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resume := func(p string, cfg Config) error {
+		cfg.Checkpoint = CheckpointOptions{Path: p, Resume: true}
+		_, err := Run(&ckptWireAlgo{}, testEnv(63, 8), cfg)
+		return err
+	}
+	if err := resume(filepath.Join(dir, "missing.ckpt"), resumeCfg(0)); err == nil {
+		t.Fatal("resume from a missing file must fail")
+	}
+	for _, mutate := range []struct {
+		name  string
+		bytes []byte
+	}{
+		{"truncated", raw[:len(raw)/2]},
+		{"empty", nil},
+		{"garbage", []byte("not a checkpoint at all")},
+	} {
+		hostile := filepath.Join(dir, mutate.name+".ckpt")
+		if err := os.WriteFile(hostile, mutate.bytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := resume(hostile, resumeCfg(0)); err == nil {
+			t.Fatalf("resume from %s snapshot must fail", mutate.name)
+		}
+	}
+	wrongSeed := resumeCfg(0)
+	wrongSeed.Seed = 999
+	if err := resume(path, wrongSeed); err == nil {
+		t.Fatal("resume under a different seed must fail")
+	}
+	plain := resumeCfg(0)
+	plain.Checkpoint = CheckpointOptions{Path: path, Resume: true}
+	if _, err := Run(&wireAlgo{}, testEnv(63, 8), plain); err == nil {
+		t.Fatal("checkpointing without RoundCheckpointer must fail")
+	}
+}
+
+func asyncResumeCfg() (Config, AsyncOptions) {
+	cfg := Config{Rounds: 6, ClientsPerRound: 4, LocalEpochs: 1, BatchSize: 16,
+		LR: 0.05, Momentum: 0.5, EvalEvery: 1, Seed: 13,
+		Faults:     FaultOptions{CrashRate: 0.2, DropRate: 0.2, DuplicateRate: 0.2, StallRate: 0.2},
+		MinUploads: 1,
+		Adversary:  AdversaryOptions{Attack: AttackSignFlip, Frac: 0.25},
+	}
+	return cfg, AsyncOptions{Buffer: 2, InFlight: 4, Commits: 8}
+}
+
+// TestAsyncKillResumeBitIdentity: the buffered-async engine holds the
+// same contract — kill at any commit boundary, resume, and the final
+// history is byte-identical, in-flight jobs and all.
+func TestAsyncKillResumeBitIdentity(t *testing.T) {
+	dir := t.TempDir()
+	cfg, opts := asyncResumeCfg()
+	full, err := RunAsync(testEnv(64, 8), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stop := range []int{1, 4, 7} {
+		t.Run(fmt.Sprintf("stop%d", stop), func(t *testing.T) {
+			path := filepath.Join(dir, fmt.Sprintf("s%d.ckpt", stop))
+			killedCfg, opts := asyncResumeCfg()
+			killedCfg.Checkpoint = CheckpointOptions{Path: path, StopAfterRound: stop}
+			partial, err := RunAsync(testEnv(64, 8), killedCfg, opts)
+			if !errors.Is(err, ErrStopped) {
+				t.Fatalf("want ErrStopped, got %v", err)
+			}
+			if got := partial.Final().Round; got > stop {
+				t.Fatalf("partial history ran past the kill: commit %d > %d", got, stop)
+			}
+			resumedCfg, opts := asyncResumeCfg()
+			resumedCfg.Checkpoint = CheckpointOptions{Path: path, Resume: true}
+			h, err := RunAsync(testEnv(64, 8), resumedCfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(full, h) {
+				t.Fatalf("async resumed history diverged:\nfull    %+v\nresumed %+v", full, h)
+			}
+		})
+	}
+}
+
+// TestAsyncResumeRejectsHostileInput mirrors the sync hardening for the
+// async snapshot format.
+func TestAsyncResumeRejectsHostileInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "async.ckpt")
+	cfg, opts := asyncResumeCfg()
+	cfg.Checkpoint = CheckpointOptions{Path: path, StopAfterRound: 3}
+	if _, err := RunAsync(testEnv(65, 8), cfg, opts); !errors.Is(err, ErrStopped) {
+		t.Fatalf("want ErrStopped, got %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := filepath.Join(dir, "hostile.ckpt")
+	if err := os.WriteFile(hostile, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badCfg, opts := asyncResumeCfg()
+	badCfg.Checkpoint = CheckpointOptions{Path: hostile, Resume: true}
+	if _, err := RunAsync(testEnv(65, 8), badCfg, opts); err == nil {
+		t.Fatal("async resume from a truncated snapshot must fail")
+	}
+	wrongSeed, opts2 := asyncResumeCfg()
+	wrongSeed.Seed = 999
+	wrongSeed.Checkpoint = CheckpointOptions{Path: path, Resume: true}
+	if _, err := RunAsync(testEnv(65, 8), wrongSeed, opts2); err == nil {
+		t.Fatal("async resume under a different seed must fail")
+	}
+}
+
+// TestFaultedRoundsDrainAllLeases: fault-heavy runs (including killed
+// ones) must release every replica and shard lease — the abort paths the
+// faults add cannot leak. The env gets a private architecture so no other
+// test's replicas show up, and a lazy source so shard leases are counted.
+func TestFaultedRoundsDrainAllLeases(t *testing.T) {
+	mkEnv := func() *Env {
+		env := sourceEnv(66, 8, data.Heterogeneity{IID: true}, "lazy")
+		env.Model = models.MLP(12, 19, 4) // unique dims → private replica pool
+		return env
+	}
+	pool := models.Replicas(models.MLP(12, 19, 4))
+	leases := func(env *Env) int {
+		type outstander interface{ Outstanding() int }
+		return env.Fed.Source.(outstander).Outstanding()
+	}
+
+	cfg := resumeCfg(4)
+	env := mkEnv()
+	if _, err := Run(&ckptWireAlgo{}, env, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if n := pool.Outstanding(); n != 0 {
+		t.Fatalf("faulted sync run leaked %d replica leases", n)
+	}
+	if n := leases(env); n != 0 {
+		t.Fatalf("faulted sync run leaked %d shard leases", n)
+	}
+
+	killed := resumeCfg(4)
+	killed.Checkpoint = CheckpointOptions{Path: filepath.Join(t.TempDir(), "k.ckpt"), StopAfterRound: 2}
+	env = mkEnv()
+	if _, err := Run(&ckptWireAlgo{}, env, killed); !errors.Is(err, ErrStopped) {
+		t.Fatal("want ErrStopped")
+	}
+	if n := pool.Outstanding(); n != 0 {
+		t.Fatalf("killed sync run leaked %d replica leases", n)
+	}
+	if n := leases(env); n != 0 {
+		t.Fatalf("killed sync run leaked %d shard leases", n)
+	}
+
+	asyncCfg, opts := asyncResumeCfg()
+	env = mkEnv()
+	if _, err := RunAsync(env, asyncCfg, opts); err != nil {
+		t.Fatal(err)
+	}
+	if n := pool.Outstanding(); n != 0 {
+		t.Fatalf("faulted async run leaked %d replica leases", n)
+	}
+	if n := leases(env); n != 0 {
+		t.Fatalf("faulted async run leaked %d shard leases", n)
+	}
+
+	asyncKilled, opts := asyncResumeCfg()
+	asyncKilled.Checkpoint = CheckpointOptions{Path: filepath.Join(t.TempDir(), "ak.ckpt"), StopAfterRound: 3}
+	env = mkEnv()
+	if _, err := RunAsync(env, asyncKilled, opts); !errors.Is(err, ErrStopped) {
+		t.Fatal("want ErrStopped")
+	}
+	if n := pool.Outstanding(); n != 0 {
+		t.Fatalf("killed async run leaked %d replica leases", n)
+	}
+	if n := leases(env); n != 0 {
+		t.Fatalf("killed async run leaked %d shard leases", n)
+	}
+}

@@ -56,6 +56,19 @@ type RoundMetric struct {
 	// CumStragglers counts clients whose upload missed the round deadline
 	// so far (0 unless Config.Transport sets a deadline).
 	CumStragglers int
+	// CumRetries / CumFaultDrops / CumDuplicates / CumStalls are the
+	// cumulative fault-injection telemetry: retry attempts, clients
+	// permanently lost to wire faults, duplicate deliveries, and stalled
+	// rounds (0 unless Config.Faults is active).
+	CumRetries, CumFaultDrops, CumDuplicates, CumStalls int
+	// CumCrashes counts fault-injected pre-training client crashes.
+	CumCrashes int
+	// CumUnavailable counts selection slots lost to churn (offline or
+	// departed clients) so far (0 unless Config.Churn is active).
+	CumUnavailable int
+	// CumDegraded counts rounds whose accepted uploads fell below the
+	// Config.MinUploads quorum, so the server kept its current model.
+	CumDegraded int
 }
 
 // History is a full run record.
@@ -71,6 +84,16 @@ type History struct {
 	BytesDown, BytesUp int64
 	// Stragglers is the whole-run count of deadline-missed uploads.
 	Stragglers int
+	// Retries / FaultDrops / Duplicates / Stalls are the whole-run fault
+	// telemetry (see the matching RoundMetric fields).
+	Retries, FaultDrops, Duplicates, Stalls int
+	// Crashes is the whole-run count of fault-injected client crashes.
+	Crashes int
+	// Unavailable is the whole-run count of selection slots lost to
+	// churn.
+	Unavailable int
+	// Degraded is the whole-run count of below-quorum rounds.
+	Degraded int
 }
 
 // TotalBytes returns the run's whole wire traffic in both directions.
@@ -135,12 +158,22 @@ func Run(algo Algorithm, env *Env, cfg Config) (*History, error) {
 	// to the accounting-only engine.
 	netRNG := rng.Split()
 	advRNG := rng.Split()
+	// Fault and churn streams are appended after every pre-existing
+	// split, exactly the advRNG pattern: the master is never drawn again,
+	// so a zero-rate plan leaves every existing history bit-unchanged.
+	// Each plan consumes one draw of its dedicated stream as its hash
+	// seed; decisions are pure functions of that seed, so they commute
+	// with worker scheduling and checkpoint/resume recomputes them free.
+	faultRNG := rng.Split()
+	churnRNG := rng.Split()
 	tr, err := NewTransport(cfg.Transport)
 	if err != nil {
 		return nil, fmt.Errorf("fl: Run: %w", err)
 	}
 	adv := NewAdversary(cfg.Adversary, n, advRNG)
 	tr.SetAdversary(adv)
+	faults := NewFaultPlan(cfg.Faults, faultRNG.Int63())
+	tr.SetFaultPlan(faults)
 	// Label-flip attackers train honestly on dishonest data: the
 	// algorithm sees a copy-on-write environment whose compromised shards
 	// carry flipped labels. Every other attack corrupts uploads at the
@@ -176,17 +209,69 @@ func Run(algo Algorithm, env *Env, cfg Config) (*History, error) {
 	if err := algo.Init(env, cfg, initRNG); err != nil {
 		return nil, fmt.Errorf("fl: Run: init %s: %w", algo.Name(), err)
 	}
+	// Churn sizes against the shadow population (selection's id space).
+	churn := NewChurnPlan(cfg.Churn, churnRNG.Int63(), n, cfg.Rounds)
 	hist := &History{Algorithm: algo.Name()}
 	var acct Accountant
 	genFrac := 0.25 // generators are a quarter model, cf. comm.go
-	planner := newCohortPlanner(algo, selRNG, n, k)
+	planner := newCohortPlanner(algo, selRNG, n, k, churn)
+	ck := cfg.Checkpoint
+	if ck.Active() {
+		if _, ok := algo.(RoundCheckpointer); !ok {
+			return nil, fmt.Errorf("fl: Run: algorithm %s does not support round checkpoints", algo.Name())
+		}
+	}
+	var crashes, unavailable, degraded int
+	startRound := 0
+	if ck.Resume {
+		// Restore overwrites stream positions and engine counters; the
+		// algorithm re-ran Init (consuming initRNG identically to the
+		// original run) and LoadState then replaced its state wholesale.
+		// Fault, churn, and adversary schedules are recomputed — they
+		// are pure functions of the seed.
+		snap, err := loadRunCheckpoint(ck.Path, cfg, algo, n)
+		if err != nil {
+			return nil, fmt.Errorf("fl: Run: %w", err)
+		}
+		startRound = snap.nextRound
+		selRNG = tensor.RestoreRNG(snap.selState)
+		dropRNG = tensor.RestoreRNG(snap.dropState)
+		netRNG = tensor.RestoreRNG(snap.netState)
+		planner = newCohortPlanner(algo, selRNG, n, k, churn)
+		planner.next = snap.plannerNext
+		planner.drawn = snap.drawn
+		tr.restoreCum(snap)
+		acct = Accountant{rounds: snap.acctRounds, total: snap.acctTotal}
+		hist.Metrics = snap.metrics
+		crashes, unavailable, degraded = snap.crashes, snap.unavailable, snap.degraded
+	}
 
-	for r := 0; r < cfg.Rounds; r++ {
+	for r := startRound; r < cfg.Rounds; r++ {
 		selected := planner.Take(r)
+		if churn.Active() {
+			// Slots the planner padded or marked -1 are churn losses;
+			// dropout and crash marking below add their own.
+			for _, ci := range selected {
+				if ci < 0 {
+					unavailable++
+				}
+			}
+		}
 		if cfg.DropoutRate > 0 {
 			for i := range selected {
 				if dropRNG.Float64() < cfg.DropoutRate {
 					selected[i] = -1
+				}
+			}
+		}
+		if faults.Active() && cfg.Faults.CrashRate > 0 {
+			// A crash consumes the activation but contributes nothing —
+			// marked exactly like a dropout so every algorithm already
+			// tolerates it.
+			for i, ci := range selected {
+				if ci >= 0 && faults.Crashes(r, ci) {
+					selected[i] = -1
+					crashes++
 				}
 			}
 		}
@@ -205,9 +290,15 @@ func Run(algo Algorithm, env *Env, cfg Config) (*History, error) {
 				}
 			}
 		}
-		tr.BeginRound(selected, netRNG.Split())
+		tr.BeginRound(r, selected, netRNG.Split())
 		if err := algo.Round(r, selected); err != nil {
 			return nil, fmt.Errorf("fl: Run: %s round %d: %w", algo.Name(), r, err)
+		}
+		if cfg.MinUploads > 0 && tr.RoundUploaders() < cfg.MinUploads {
+			// The algorithms' reduce paths kept the current model (see
+			// ReduceUploads quorum gating); the engine records that the
+			// round degraded rather than aggregated.
+			degraded++
 		}
 		tr.EndRound()
 		acct.Record(algo.RoundComm(k))
@@ -219,6 +310,7 @@ func Run(algo Algorithm, env *Env, cfg Config) (*History, error) {
 				return nil, fmt.Errorf("fl: Run: eval round %d: %w", r, err)
 			}
 			down, up, stragglers := tr.Totals()
+			retries, faultDrops, dups, stalls := tr.FaultTotals()
 			hist.Metrics = append(hist.Metrics, RoundMetric{
 				Round:               r + 1,
 				TestAcc:             acc,
@@ -227,23 +319,93 @@ func Run(algo Algorithm, env *Env, cfg Config) (*History, error) {
 				CumBytesDown:        down,
 				CumBytesUp:          up,
 				CumStragglers:       stragglers,
+				CumRetries:          retries,
+				CumFaultDrops:       faultDrops,
+				CumDuplicates:       dups,
+				CumStalls:           stalls,
+				CumCrashes:          crashes,
+				CumUnavailable:      unavailable,
+				CumDegraded:         degraded,
 			})
 		}
+
+		if ck.Active() {
+			stopHere := ck.StopAfterRound > 0 && r+1 == ck.StopAfterRound
+			if stopHere || (ck.Every > 0 && (r+1)%ck.Every == 0) {
+				snap := &runSnapshot{
+					nextRound:   r + 1,
+					selState:    selRNG.State(),
+					plannerNext: planner.next,
+					drawn:       planner.drawn,
+					dropState:   dropRNG.State(),
+					netState:    netRNG.State(),
+					crashes:     crashes,
+					unavailable: unavailable,
+					degraded:    degraded,
+					acctRounds:  acct.rounds,
+					acctTotal:   acct.total,
+					metrics:     hist.Metrics,
+				}
+				tr.captureCum(snap)
+				if err := saveRunCheckpoint(ck.Path, cfg, algo, n, snap); err != nil {
+					return nil, fmt.Errorf("fl: Run: checkpoint round %d: %w", r+1, err)
+				}
+			}
+			if stopHere {
+				finishHistory(hist, &acct, tr, crashes, unavailable, degraded)
+				return hist, ErrStopped
+			}
+		}
 	}
-	hist.Comm = acct.Total()
-	hist.BytesDown, hist.BytesUp, hist.Stragglers = tr.Totals()
+	finishHistory(hist, &acct, tr, crashes, unavailable, degraded)
 	return hist, nil
 }
 
+// finishHistory folds the run totals into the history record.
+func finishHistory(hist *History, acct *Accountant, tr *Transport, crashes, unavailable, degraded int) {
+	hist.Comm = acct.Total()
+	hist.BytesDown, hist.BytesUp, hist.Stragglers = tr.Totals()
+	hist.Retries, hist.FaultDrops, hist.Duplicates, hist.Stalls = tr.FaultTotals()
+	hist.Crashes = crashes
+	hist.Unavailable = unavailable
+	hist.Degraded = degraded
+}
+
 // selectClients asks the algorithm first and falls back to uniform random
-// selection without replacement.
-func selectClients(algo Algorithm, r int, rng *tensor.RNG, n, k int) []int {
+// selection without replacement. An active churn plan biases selection to
+// available clients: the uniform path draws its one Perm(n) as always
+// (the stream's shape never depends on churn) and then takes the first k
+// available ids, padding with -1 when fewer exist; a Selector's
+// self-chosen cohort has its offline members marked -1 after the fact.
+func selectClients(algo Algorithm, r int, rng *tensor.RNG, n, k int, churn *ChurnPlan) []int {
 	if s, ok := algo.(Selector); ok {
 		sel := s.SelectClients(r, rng, n, k)
 		if len(sel) == k {
+			if churn.Active() {
+				for i, id := range sel {
+					if id >= 0 && !churn.Available(r, id) {
+						sel[i] = -1
+					}
+				}
+			}
 			return sel
 		}
 	}
 	perm := rng.Perm(n)
-	return perm[:k]
+	if !churn.Active() {
+		return perm[:k]
+	}
+	out := make([]int, 0, k)
+	for _, id := range perm {
+		if len(out) == k {
+			break
+		}
+		if churn.Available(r, id) {
+			out = append(out, id)
+		}
+	}
+	for len(out) < k {
+		out = append(out, -1)
+	}
+	return out
 }

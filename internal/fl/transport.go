@@ -24,6 +24,15 @@ type TransportOptions struct {
 	// whose simulated download+upload time exceeds it becomes a straggler
 	// (its uploads never reach the server). 0 disables the deadline.
 	DeadlineSec float64
+	// Retries is how many extra upload attempts a client makes after a
+	// fault-injected loss (drop/truncate/corrupt) before the server gives
+	// up on it; 0 means a single attempt. Retries only matter under an
+	// active FaultPlan — the fault-free wire never loses a payload.
+	Retries int
+	// RetryBackoffSec is the base of the deterministic exponential
+	// backoff charged to the client's link clock before retry attempt a:
+	// RetryBackoffSec·2^(a-1) seconds. 0 retries immediately.
+	RetryBackoffSec float64
 }
 
 // Validate reports the first problem with the options.
@@ -36,6 +45,12 @@ func (o TransportOptions) Validate() error {
 	}
 	if o.DeadlineSec < 0 {
 		return fmt.Errorf("fl: DeadlineSec %v negative", o.DeadlineSec)
+	}
+	if o.Retries < 0 {
+		return fmt.Errorf("fl: Retries = %d, must be non-negative", o.Retries)
+	}
+	if o.RetryBackoffSec < 0 {
+		return fmt.Errorf("fl: RetryBackoffSec %v negative", o.RetryBackoffSec)
 	}
 	return nil
 }
@@ -85,6 +100,8 @@ type link struct {
 	latency          float64 // seconds per message
 	elapsed          float64 // simulated wire time consumed this round
 	straggler        bool
+	failed           bool // fault-injected permanent loss (retries exhausted)
+	okUps            int  // uploads the server accepted this round
 }
 
 // Transport is the simulated exchange path every algorithm routes its
@@ -113,11 +130,30 @@ type Transport struct {
 	// they are encoded (see Adversary). Set by the runner.
 	adv *Adversary
 
+	// faults, when non-nil, is the run's deterministic fault schedule
+	// (see FaultPlan). Set by the runner; round tracks the 0-based round
+	// index BeginRound was last given, so fault decisions key off it.
+	faults *FaultPlan
+	round  int
+	// stall is the server-side latency every link starts this round with
+	// (a stall fault); retries/retryBackoff mirror TransportOptions.
+	stall        float64
+	retries      int
+	retryBackoff float64
+
 	// round counters, folded into the cumulative ones by EndRound.
 	roundDown, roundUp int64
 	roundStragglers    int
+	roundRetries       int
+	roundFaultDrops    int
+	roundDuplicates    int
+	roundStalls        int
 	cumDown, cumUp     int64
 	cumStragglers      int
+	cumRetries         int
+	cumFaultDrops      int
+	cumDuplicates      int
+	cumStalls          int
 
 	// encBuf is the recycled encode scratch; resBuf the recycled delta
 	// residual. Both are safe to reuse per call because transport calls
@@ -140,7 +176,17 @@ func NewTransport(opts TransportOptions) (*Transport, error) {
 	if opts.DeadlineSec < 0 {
 		return nil, fmt.Errorf("fl: DeadlineSec %v negative", opts.DeadlineSec)
 	}
-	return &Transport{codec: codec, net: net, deadline: opts.DeadlineSec, links: map[int]*link{}}, nil
+	if opts.Retries < 0 || opts.RetryBackoffSec < 0 {
+		return nil, fmt.Errorf("fl: Retries %d / RetryBackoffSec %v negative", opts.Retries, opts.RetryBackoffSec)
+	}
+	return &Transport{
+		codec:        codec,
+		net:          net,
+		deadline:     opts.DeadlineSec,
+		retries:      opts.Retries,
+		retryBackoff: opts.RetryBackoffSec,
+		links:        map[int]*link{},
+	}, nil
 }
 
 // Codec returns the configured codec ("identity" for a nil transport).
@@ -172,16 +218,33 @@ func (t *Transport) SetAdversary(a *Adversary) {
 	}
 }
 
-// BeginRound resets the round counters and draws this round's link
+// SetFaultPlan installs the run's deterministic fault schedule (nil for
+// fault-free runs). Nil-safe on both sides.
+func (t *Transport) SetFaultPlan(p *FaultPlan) {
+	if t != nil {
+		t.faults = p
+	}
+}
+
+// BeginRound resets the round counters and draws round r's link
 // conditions for every activated client (dropped slots, marked -1, are
 // skipped) in slot order from rng — which the runner pre-splits serially,
 // keeping the draws independent of scheduling. rng may be nil when the
-// network model is ideal.
-func (t *Transport) BeginRound(selected []int, rng *tensor.RNG) {
+// network model is ideal. Fault-injected straggle (slowed link) and stall
+// (server-side latency on every link) conditions apply here, after the
+// jitter draws, so an inactive plan leaves the stream untouched.
+func (t *Transport) BeginRound(r int, selected []int, rng *tensor.RNG) {
 	if t == nil {
 		return
 	}
+	t.round = r
 	t.roundDown, t.roundUp, t.roundStragglers = 0, 0, 0
+	t.roundRetries, t.roundFaultDrops, t.roundDuplicates, t.roundStalls = 0, 0, 0, 0
+	t.stall = 0
+	if t.faults.Stalls(r) {
+		t.stall = t.faults.StallSec()
+		t.roundStalls++
+	}
 	t.adv.BeginRound()
 	clear(t.links)
 	for _, ci := range selected {
@@ -200,8 +263,21 @@ func (t *Transport) BeginRound(selected []int, rng *tensor.RNG) {
 			l.upRate *= math.Exp(t.net.Jitter * rng.Normal(0, 1))
 			l.latency *= math.Exp(t.net.Jitter * rng.Normal(0, 1))
 		}
+		t.applyLinkFaults(l, ci)
 		t.links[ci] = l
 	}
+}
+
+// applyLinkFaults layers this round's straggle and stall faults onto a
+// freshly built link.
+func (t *Transport) applyLinkFaults(l *link, client int) {
+	if t.faults.Straggles(t.round, client) {
+		f := t.faults.StraggleFactor()
+		l.downRate /= f
+		l.upRate /= f
+		l.latency *= f
+	}
+	l.elapsed += t.stall
 }
 
 func mbpsToBytesPerSec(mbps float64) float64 { return mbps * 1e6 / 8 }
@@ -215,6 +291,10 @@ func (t *Transport) EndRound() (bytesDown, bytesUp int64, stragglers int) {
 	t.cumDown += t.roundDown
 	t.cumUp += t.roundUp
 	t.cumStragglers += t.roundStragglers
+	t.cumRetries += t.roundRetries
+	t.cumFaultDrops += t.roundFaultDrops
+	t.cumDuplicates += t.roundDuplicates
+	t.cumStalls += t.roundStalls
 	return t.roundDown, t.roundUp, t.roundStragglers
 }
 
@@ -224,6 +304,32 @@ func (t *Transport) Totals() (bytesDown, bytesUp int64, stragglers int) {
 		return 0, 0, 0
 	}
 	return t.cumDown, t.cumUp, t.cumStragglers
+}
+
+// FaultTotals returns the cumulative fault telemetry: upload retry
+// attempts, clients permanently lost to faults (retries exhausted),
+// duplicate deliveries, and stalled rounds.
+func (t *Transport) FaultTotals() (retries, faultDrops, duplicates, stalls int) {
+	if t == nil {
+		return 0, 0, 0, 0
+	}
+	return t.cumRetries, t.cumFaultDrops, t.cumDuplicates, t.cumStalls
+}
+
+// RoundUploaders counts the clients whose uploads the server has accepted
+// this round — the quorum the engines compare against Config.MinUploads
+// before deciding whether the round aggregates or degrades.
+func (t *Transport) RoundUploaders() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, l := range t.links {
+		if l.okUps > 0 && !l.failed && !l.straggler {
+			n++
+		}
+	}
+	return n
 }
 
 // Down simulates one server→client dispatch of vec: the payload is
@@ -237,7 +343,13 @@ func (t *Transport) Down(dst nn.ParamVector, client int, vec nn.ParamVector) nn.
 	size := t.codec.EncodedSize(len(vec))
 	t.roundDown += size
 	t.chargeTime(client, size, true)
-	return t.deliver(dst, vec, nil)
+	out, err := t.deliver(dst, vec, nil, mangleNone)
+	if err != nil {
+		// Encode and Decode are the same codec over the same undamaged
+		// buffer; a failure here is a codec bug, not an input condition.
+		panic(err)
+	}
+	return out
 }
 
 // Broadcast simulates dispatching one payload to every listed client
@@ -256,7 +368,12 @@ func (t *Transport) Broadcast(dst nn.ParamVector, clients []int, vec nn.ParamVec
 		t.roundDown += size
 		t.chargeTime(ci, size, true)
 	}
-	return t.deliver(dst, vec, nil)
+	out, err := t.deliver(dst, vec, nil, mangleNone)
+	if err != nil {
+		// Undamaged round-trip failure is a codec bug (see Down).
+		panic(err)
+	}
+	return out
 }
 
 // Up simulates one client→server upload of vec, delta-encoded against
@@ -271,7 +388,7 @@ func (t *Transport) Up(dst nn.ParamVector, client int, vec, ref nn.ParamVector) 
 	if t == nil {
 		return vec, true
 	}
-	if l := t.links[client]; l != nil && l.straggler {
+	if l := t.links[client]; l != nil && (l.straggler || l.failed) {
 		return vec, false
 	}
 	// A compromised client transmits its corrupted payload; the server
@@ -279,13 +396,66 @@ func (t *Transport) Up(dst nn.ParamVector, client int, vec, ref nn.ParamVector) 
 	// every codec) is attacked uniformly at this one seam.
 	vec = t.adv.CorruptUpload(client, vec)
 	size := t.codec.EncodedSize(len(vec))
-	t.roundUp += size
-	ontime := t.chargeTime(client, size, false)
-	if !ontime {
-		t.markStraggler(client)
-		return vec, false
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			t.backoff(client, attempt)
+			t.roundRetries++
+		}
+		t.roundUp += size
+		if !t.chargeTime(client, size, false) {
+			t.markStraggler(client)
+			return vec, false
+		}
+		// Wire losses: an outright drop, or a payload the decode rejects
+		// (truncated body, flipped header). Each is a pure per-attempt
+		// hash, so a retry redraws its fate.
+		lost := t.faults.Drops(t.round, client, attempt)
+		mangle := mangleNone
+		if !lost {
+			switch {
+			case t.faults.Truncates(t.round, client, attempt):
+				mangle = mangleTruncate
+			case t.faults.Corrupts(t.round, client, attempt):
+				mangle = mangleCorrupt
+			}
+			// The lossless pass-through never materializes wire bytes to
+			// mangle; a truncated/corrupted payload is simply lost.
+			if mangle != mangleNone && t.codec.Lossless() {
+				lost = true
+			}
+		}
+		if !lost {
+			out, err := t.deliver(dst, vec, ref, mangle)
+			if err == nil {
+				if t.faults.Duplicates(t.round, client) {
+					// The duplicate's bytes and wire time are charged; the
+					// server dedups the payload itself.
+					t.roundUp += size
+					t.chargeTime(client, size, false)
+					t.roundDuplicates++
+				}
+				if l := t.links[client]; l != nil {
+					l.okUps++
+				}
+				return out, true
+			}
+		}
+		if attempt >= t.retries {
+			t.markFailed(client)
+			return vec, false
+		}
 	}
-	return t.deliver(dst, vec, ref), true
+}
+
+// backoff charges the deterministic exponential retry backoff to the
+// client's link clock before attempt a (a ≥ 1).
+func (t *Transport) backoff(client, attempt int) {
+	if t.retryBackoff == 0 {
+		return
+	}
+	if l := t.links[client]; l != nil {
+		l.elapsed += t.retryBackoff * math.Pow(2, float64(attempt-1))
+	}
 }
 
 // markStraggler flags the client's link and counts it once.
@@ -298,6 +468,21 @@ func (t *Transport) markStraggler(client int) {
 	if !l.straggler {
 		l.straggler = true
 		t.roundStragglers++
+	}
+}
+
+// markFailed flags a client whose upload was permanently lost to faults
+// (every attempt dropped or rejected) and counts it once. The caller
+// treats it like a dropout; subsequent uploads are skipped.
+func (t *Transport) markFailed(client int) {
+	l := t.links[client]
+	if l == nil {
+		l = &link{}
+		t.links[client] = l
+	}
+	if !l.failed {
+		l.failed = true
+		t.roundFaultDrops++
 	}
 }
 
@@ -316,6 +501,7 @@ func (t *Transport) chargeTime(client int, size int64, down bool) bool {
 			upRate:   mbpsToBytesPerSec(t.net.UpMbps),
 			latency:  t.net.LatencySec,
 		}
+		t.applyLinkFaults(l, client)
 		t.links[client] = l
 	}
 	rate := l.upRate
@@ -329,16 +515,33 @@ func (t *Transport) chargeTime(client int, size int64, down bool) bool {
 	return t.deadline == 0 || l.elapsed <= t.deadline
 }
 
+// mangle selects the wire damage deliver inflicts on the encoded payload
+// before the receiver decodes it.
+type mangle int
+
+const (
+	mangleNone     mangle = iota
+	mangleTruncate        // cut the encoded body short
+	mangleCorrupt         // flip the element-count header's bits
+)
+
 // deliver runs vec through the codec into dst, applying the delta
 // transform against ref when set: the residual vec−ref is what crosses
 // the wire, and the receiver adds ref back — so coordinates a lossy codec
 // drops stay at the reference value instead of snapping to zero, and
 // quantization grids span the (much smaller) residual range.
-func (t *Transport) deliver(dst, vec, ref nn.ParamVector) nn.ParamVector {
+//
+// A non-zero mangle damages the encoded bytes in transit; the decode then
+// rejects the payload with an error, which the caller treats as a lost
+// attempt. Decode failures never panic: a hostile or damaged payload
+// surfaces as a per-client loss, exactly like a dropped one. On any error
+// dst holds unspecified bytes and must not be used.
+func (t *Transport) deliver(dst, vec, ref nn.ParamVector, m mangle) (nn.ParamVector, error) {
 	if t.codec.Lossless() {
 		// The identity wire is a zero-copy pass-through: delta would only
 		// add float cancellation error to a codec that is already exact.
-		return vec
+		// Mangle is handled by the caller (no wire bytes exist here).
+		return vec, nil
 	}
 	payload := vec
 	if ref != nil {
@@ -355,6 +558,17 @@ func (t *Transport) deliver(dst, vec, ref nn.ParamVector) nn.ParamVector {
 		payload = t.resBuf
 	}
 	t.encBuf = t.codec.Encode(t.encBuf[:0], payload)
+	switch m {
+	case mangleTruncate:
+		t.encBuf = t.encBuf[:len(t.encBuf)/2]
+	case mangleCorrupt:
+		// Flipping the 4-byte element-count header is a bijection, so the
+		// decoded count never matches the destination: rejection is
+		// guaranteed, unlike flipping body bytes a quantizer might accept.
+		for i := 0; i < len(t.encBuf) && i < 4; i++ {
+			t.encBuf[i] ^= 0xFF
+		}
+	}
 	if dst == nil {
 		dst = make(nn.ParamVector, len(vec))
 	}
@@ -362,16 +576,14 @@ func (t *Transport) deliver(dst, vec, ref nn.ParamVector) nn.ParamVector {
 		panic(fmt.Sprintf("fl: transport destination length %d != payload %d", len(dst), len(vec)))
 	}
 	if _, err := t.codec.Decode(dst, t.encBuf); err != nil {
-		// Encode and Decode are the same codec over the same buffer; a
-		// failure here is a codec bug, not an input condition.
-		panic(fmt.Sprintf("fl: transport codec round-trip: %v", err))
+		return dst, fmt.Errorf("fl: transport codec round-trip: %w", err)
 	}
 	if ref != nil {
 		for i := range dst {
 			dst[i] += ref[i]
 		}
 	}
-	return dst
+	return dst, nil
 }
 
 // TransportUser is implemented by algorithms that route their exchanges

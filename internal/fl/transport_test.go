@@ -31,7 +31,7 @@ func TestTransportNilPassThrough(t *testing.T) {
 	if got := tr.Broadcast(nil, []int{0, 1}, vec); &got[0] != &vec[0] {
 		t.Fatal("nil transport Broadcast must return the input vector")
 	}
-	tr.BeginRound([]int{0, 1}, nil)
+	tr.BeginRound(0, []int{0, 1}, nil)
 	if d, u, s := tr.EndRound(); d != 0 || u != 0 || s != 0 {
 		t.Fatalf("nil transport accounted %d/%d/%d", d, u, s)
 	}
@@ -50,7 +50,7 @@ func TestTransportIdentityZeroCopy(t *testing.T) {
 	}
 	rng := tensor.NewRNG(1)
 	vec := testVec(rng, 100)
-	tr.BeginRound([]int{3, 7, -1}, rng.Split())
+	tr.BeginRound(0, []int{3, 7, -1}, rng.Split())
 
 	if got := tr.Down(nil, 3, vec); &got[0] != &vec[0] {
 		t.Fatal("identity Down must be zero-copy")
@@ -99,7 +99,7 @@ func TestTransportLossyDelta(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr.BeginRound([]int{0}, nil)
+	tr.BeginRound(0, []int{0}, nil)
 	dst := make(nn.ParamVector, len(vec))
 	got, ok := tr.Up(dst, 0, vec, ref)
 	if !ok {
@@ -117,7 +117,7 @@ func TestTransportLossyDelta(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr2.BeginRound([]int{0}, nil)
+	tr2.BeginRound(0, []int{0}, nil)
 	got2, _ := tr2.Up(make(nn.ParamVector, len(vec)), 0, vec, ref)
 	unchanged := 0
 	for i := range got2 {
@@ -145,7 +145,7 @@ func TestTransportDeadlineStragglers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tr.BeginRound(clients, tensor.NewRNG(seed))
+		tr.BeginRound(0, clients, tensor.NewRNG(seed))
 		tr.Broadcast(nil, clients, vec)
 		for _, ci := range clients {
 			if _, ok := tr.Up(nil, ci, vec, nil); !ok {
@@ -199,7 +199,7 @@ func TestTransportIdealNetworkNeverStraggles(t *testing.T) {
 	}
 	rng := tensor.NewRNG(1)
 	vec := testVec(rng, 10_000)
-	tr.BeginRound([]int{0}, rng.Split())
+	tr.BeginRound(0, []int{0}, rng.Split())
 	for i := 0; i < 100; i++ {
 		if _, ok := tr.Up(nil, 0, vec, nil); !ok {
 			t.Fatal("ideal network produced a straggler")

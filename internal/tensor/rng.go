@@ -16,12 +16,62 @@ import (
 // the streams the workers consume are independent of scheduling, which is
 // what makes parallel runs bit-identical to serial ones.
 type RNG struct {
-	r *rand.Rand
+	r    *rand.Rand
+	seed int64
+	src  *countingSource
+}
+
+// countingSource wraps the stdlib source and counts every Int63 draw. It
+// deliberately implements only rand.Source (NOT Source64): every rand.Rand
+// method this library uses — Float64, Intn, Int63, NormFloat64, Perm,
+// Shuffle — bottoms out in Source.Int63, so the wrapped stream is
+// bit-identical to the unwrapped one while the counter gives an exact
+// stream position. (seed, position) is therefore a complete, restorable
+// snapshot of a generator — the fact the round-checkpoint machinery is
+// built on.
+type countingSource struct {
+	src rand.Source
+	n   uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n = 0
 }
 
 // NewRNG returns a deterministic generator seeded with seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed)}
+	return &RNG{r: rand.New(src), seed: seed, src: src}
+}
+
+// RNGState is a serializable snapshot of a generator: its construction
+// seed plus how many base draws it has consumed. RestoreRNG(State())
+// yields a generator whose future draws are bit-identical to the
+// original's.
+type RNGState struct {
+	Seed int64
+	Pos  uint64
+}
+
+// State snapshots the generator's position.
+func (g *RNG) State() RNGState { return RNGState{Seed: g.seed, Pos: g.src.n} }
+
+// RestoreRNG rebuilds a generator at a snapshotted position by replaying
+// (and discarding) the consumed prefix of its stream. Replay costs one
+// Int63 per consumed draw — cheap even for selection streams that Perm
+// over large populations every round.
+func RestoreRNG(st RNGState) *RNG {
+	g := NewRNG(st.Seed)
+	for g.src.n < st.Pos {
+		g.src.Int63()
+	}
+	return g
 }
 
 // Split derives an independent child generator; use it to give each client

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the perf-tracking benchmarks and emit a machine-readable
-# snapshot (default BENCH_pr9.json) so the repo's performance trajectory
+# snapshot (default BENCH_pr10.json) so the repo's performance trajectory
 # is diffable across PRs.
 #
 # Usage:
@@ -27,7 +27,12 @@
 #              and the batched-kernel pair (BenchmarkBatchedMatMul fused
 #              vs looped, BenchmarkTrainAllFanout at widths 1/4/8 — the
 #              fanout series records that client fusion stays
-#              perf-neutral while bit-identical))
+#              perf-neutral while bit-identical), and the fault-tolerance
+#              pair (BenchmarkFaultedRound benign-vs-faulted — the
+#              injection overhead of the pure-hash fault plan, with
+#              faults/round and retries/round telemetry — and
+#              BenchmarkCheckpointRoundTrip, the kill+resume tax with
+#              its snapshot_kb on-disk footprint))
 #
 # Each JSON record carries ns_per_op, allocs_per_op, bytes_per_op and
 # mb_per_op as reported by -benchmem, plus any domain metrics the bench
@@ -37,9 +42,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr9.json}
+OUT=${1:-BENCH_pr10.json}
 BENCHTIME=${BENCHTIME:-1x}
-BENCH=${BENCH:-'BenchmarkRoundParallel|BenchmarkExperimentScheduler|BenchmarkTransportCodecs|BenchmarkReducers|BenchmarkAsyncRound|BenchmarkTreeReduce|BenchmarkLazyShard|BenchmarkTable|BenchmarkFig|BenchmarkAblation|BenchmarkTheory|BenchmarkCrossAggr|BenchmarkCosineSimilarity|BenchmarkSimilarityMatrix|BenchmarkLocalTrainingCNN|BenchmarkLandscapeScan|BenchmarkBatchedMatMul|BenchmarkTrainAllFanout'}
+BENCH=${BENCH:-'BenchmarkRoundParallel|BenchmarkExperimentScheduler|BenchmarkTransportCodecs|BenchmarkReducers|BenchmarkAsyncRound|BenchmarkTreeReduce|BenchmarkLazyShard|BenchmarkTable|BenchmarkFig|BenchmarkAblation|BenchmarkTheory|BenchmarkCrossAggr|BenchmarkCosineSimilarity|BenchmarkSimilarityMatrix|BenchmarkLocalTrainingCNN|BenchmarkLandscapeScan|BenchmarkBatchedMatMul|BenchmarkTrainAllFanout|BenchmarkFaultedRound|BenchmarkCheckpointRoundTrip'}
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
